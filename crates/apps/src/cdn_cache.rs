@@ -1,0 +1,370 @@
+//! Content caching on satellite-servers with orbital churn.
+//!
+//! §3.1 proposes in-orbit CDN edges. Unlike a terrestrial PoP, a
+//! satellite cache *moves away* every few minutes: the satellite serving
+//! a region hands off, and the successor arrives cold unless the hot set
+//! is transferred ahead (the same mechanism as §5's state migration,
+//! applied to caches). This module quantifies the effect:
+//!
+//! * a Zipf content catalog (web popularity is Zipf-ish),
+//! * an LRU cache per serving satellite,
+//! * a region issuing requests to its nearest reachable satellite,
+//! * two hand-off policies — **ColdStart** (successor starts empty) and
+//!   **WarmHandoff** (successor inherits the hot set over the ISL).
+//!
+//! Determinism: the request stream is driven by the same SplitMix64
+//! generator the city synthesizer uses, so runs are exactly repeatable.
+
+use leo_cities::synth::SplitMix64;
+use leo_core::InOrbitService;
+use leo_geo::Geodetic;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A Zipf-distributed content catalog.
+#[derive(Debug, Clone)]
+pub struct ZipfCatalog {
+    cdf: Vec<f64>,
+}
+
+impl ZipfCatalog {
+    /// Creates a catalog of `items` objects with Zipf exponent `s`
+    /// (web-like traffic: s ≈ 0.8–1.0).
+    ///
+    /// # Panics
+    /// Panics when `items` is zero or `s` is negative.
+    pub fn new(items: usize, s: f64) -> Self {
+        assert!(items > 0 && s >= 0.0);
+        let mut cdf = Vec::with_capacity(items);
+        let mut acc = 0.0;
+        for k in 1..=items {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfCatalog { cdf }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the catalog is empty (never — construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples an item id (0-based rank; 0 = most popular).
+    pub fn sample(&self, rng: &mut SplitMix64) -> u32 {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+/// An LRU cache of content ids.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    /// item → logical last-use time.
+    last_use: HashMap<u32, u64>,
+    clock: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            last_use: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// Number of cached items.
+    pub fn len(&self) -> usize {
+        self.last_use.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.last_use.is_empty()
+    }
+
+    /// Looks an item up, inserting it on a miss (evicting the least
+    /// recently used item if full). Returns true on a hit.
+    pub fn access(&mut self, item: u32) -> bool {
+        self.clock += 1;
+        if self.capacity == 0 {
+            return false;
+        }
+        let hit = self.last_use.contains_key(&item);
+        if !hit && self.last_use.len() >= self.capacity {
+            // Evict the LRU entry.
+            if let Some((&victim, _)) = self.last_use.iter().min_by_key(|(_, &t)| t) {
+                self.last_use.remove(&victim);
+            }
+        }
+        self.last_use.insert(item, self.clock);
+        hit
+    }
+
+    /// The cached item set (for warm hand-off), hottest first.
+    pub fn hot_set(&self) -> Vec<u32> {
+        let mut items: Vec<(u32, u64)> = self.last_use.iter().map(|(&i, &t)| (i, t)).collect();
+        items.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
+        items.into_iter().map(|(i, _)| i).collect()
+    }
+
+    /// Pre-populates the cache with `items` (hottest first, truncated to
+    /// capacity).
+    pub fn warm_with(&mut self, items: &[u32]) {
+        for &i in items.iter().take(self.capacity).rev() {
+            self.access(i);
+        }
+    }
+}
+
+/// Hand-off policy for the serving satellite's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheHandoffPolicy {
+    /// The successor starts with an empty cache.
+    ColdStart,
+    /// The hot set is transferred to the successor ahead of the hand-off
+    /// (§5-style migration applied to the cache).
+    WarmHandoff,
+}
+
+/// Configuration of a CDN cache simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdnSimConfig {
+    /// Content catalog size.
+    pub catalog_items: usize,
+    /// Zipf exponent.
+    pub zipf_exponent: f64,
+    /// Cache capacity per satellite, items.
+    pub cache_items: usize,
+    /// Requests per second from the region.
+    pub request_rate_hz: f64,
+    /// Simulation length, seconds.
+    pub duration_s: f64,
+    /// Hand-off policy.
+    pub policy: CacheHandoffPolicy,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Result of a CDN cache simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdnSimResult {
+    /// Total requests issued.
+    pub requests: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Serving-satellite hand-offs observed.
+    pub handoffs: u32,
+}
+
+impl CdnSimResult {
+    /// Overall hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+/// Simulates a region's content requests against the nearest reachable
+/// satellite's cache, with the configured hand-off policy.
+pub fn simulate_cdn(
+    service: &InOrbitService,
+    region: Geodetic,
+    config: &CdnSimConfig,
+) -> CdnSimResult {
+    assert!(config.request_rate_hz > 0.0 && config.duration_s > 0.0);
+    let catalog = ZipfCatalog::new(config.catalog_items, config.zipf_exponent);
+    let mut rng = SplitMix64::new(config.seed);
+    let mut cache = LruCache::new(config.cache_items);
+    let mut current_sat = None;
+    let mut result = CdnSimResult {
+        requests: 0,
+        hits: 0,
+        handoffs: 0,
+    };
+
+    // Re-evaluate the serving satellite once per second; issue requests
+    // at the configured rate between evaluations.
+    let seconds = config.duration_s.ceil() as usize;
+    let mut request_accumulator = 0.0;
+    for sec in 0..seconds {
+        let t = sec as f64;
+        let nearest = service
+            .reachable_servers(region, t)
+            .into_iter()
+            .min_by(|a, b| a.range_m.total_cmp(&b.range_m))
+            .map(|v| v.id);
+        if nearest != current_sat {
+            if current_sat.is_some() {
+                result.handoffs += 1;
+                match config.policy {
+                    CacheHandoffPolicy::ColdStart => {
+                        cache = LruCache::new(config.cache_items);
+                    }
+                    CacheHandoffPolicy::WarmHandoff => {
+                        let hot = cache.hot_set();
+                        cache = LruCache::new(config.cache_items);
+                        cache.warm_with(&hot);
+                    }
+                }
+            }
+            current_sat = nearest;
+        }
+        if current_sat.is_none() {
+            continue; // region unserved this second
+        }
+        request_accumulator += config.request_rate_hz;
+        while request_accumulator >= 1.0 {
+            request_accumulator -= 1.0;
+            let item = catalog.sample(&mut rng);
+            result.requests += 1;
+            if cache.access(item) {
+                result.hits += 1;
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_constellation::presets;
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        let z = ZipfCatalog::new(1000, 0.9);
+        assert_eq!(z.len(), 1000);
+        let mut prev = 0.0;
+        for &c in &z.cdf {
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_samples_favor_low_ranks() {
+        let z = ZipfCatalog::new(1000, 1.0);
+        let mut rng = SplitMix64::new(1);
+        let mut top10 = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // With s=1, the top-10 of 1000 items carries ~39 % of requests.
+        let share = top10 as f64 / n as f64;
+        assert!((0.3..0.5).contains(&share), "top-10 share {share}");
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut c = LruCache::new(2);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1)); // 1 is now most recent
+        assert!(!c.access(3)); // evicts 2
+        assert!(c.access(1));
+        assert!(!c.access(2)); // 2 was evicted
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_hits() {
+        let mut c = LruCache::new(0);
+        assert!(!c.access(1));
+        assert!(!c.access(1));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn hot_set_round_trips_through_warm_with() {
+        let mut a = LruCache::new(4);
+        for i in [1, 2, 3, 4] {
+            a.access(i);
+        }
+        let hot = a.hot_set();
+        assert_eq!(hot[0], 4, "most recent first");
+        let mut b = LruCache::new(4);
+        b.warm_with(&hot);
+        for i in [1, 2, 3, 4] {
+            assert!(b.access(i), "item {i} should be warm");
+        }
+    }
+
+    fn config(policy: CacheHandoffPolicy) -> CdnSimConfig {
+        CdnSimConfig {
+            catalog_items: 10_000,
+            zipf_exponent: 0.9,
+            cache_items: 1_000,
+            request_rate_hz: 50.0,
+            duration_s: 1_200.0,
+            policy,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let service = InOrbitService::new(presets::starlink_550_only());
+        let region = Geodetic::ground(6.52, 3.38);
+        let a = simulate_cdn(&service, region, &config(CacheHandoffPolicy::ColdStart));
+        let b = simulate_cdn(&service, region, &config(CacheHandoffPolicy::ColdStart));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_handoff_beats_cold_start() {
+        // The §5 mechanism applied to caches: transferring the hot set
+        // preserves hit rate across satellite churn.
+        let service = InOrbitService::new(presets::starlink_550_only());
+        let region = Geodetic::ground(6.52, 3.38);
+        let cold = simulate_cdn(&service, region, &config(CacheHandoffPolicy::ColdStart));
+        let warm = simulate_cdn(&service, region, &config(CacheHandoffPolicy::WarmHandoff));
+        assert!(cold.handoffs >= 1, "need churn to compare, got {}", cold.handoffs);
+        assert!(
+            warm.hit_rate() > cold.hit_rate(),
+            "warm {} vs cold {}",
+            warm.hit_rate(),
+            cold.hit_rate()
+        );
+        assert!(warm.hit_rate() > 0.3, "warm hit rate {}", warm.hit_rate());
+    }
+
+    #[test]
+    fn bigger_caches_hit_more() {
+        let service = InOrbitService::new(presets::starlink_550_only());
+        let region = Geodetic::ground(6.52, 3.38);
+        let mut small_cfg = config(CacheHandoffPolicy::WarmHandoff);
+        small_cfg.cache_items = 100;
+        let mut big_cfg = small_cfg;
+        big_cfg.cache_items = 2_000;
+        let small = simulate_cdn(&service, region, &small_cfg);
+        let big = simulate_cdn(&service, region, &big_cfg);
+        assert!(big.hit_rate() > small.hit_rate());
+    }
+
+    #[test]
+    fn unserved_region_issues_no_requests() {
+        let service = InOrbitService::new(presets::starlink_550_only());
+        let polar = Geodetic::ground(89.0, 0.0);
+        let r = simulate_cdn(&service, polar, &config(CacheHandoffPolicy::ColdStart));
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.hit_rate(), 0.0);
+    }
+}

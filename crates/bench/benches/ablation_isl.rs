@@ -1,0 +1,72 @@
+//! Ablation of the ISL topology assumption (DESIGN.md §6): +Grid vs
+//! intra-plane-ring-only vs no ISLs, measured on the Fig 3 hybrid path
+//! (London → New York through the constellation, and the West Africa →
+//! South Africa data-center path). Quality table printed once, then the
+//! graph-build + routing runtime per topology.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leo_constellation::presets;
+use leo_geo::Geodetic;
+use leo_net::routing::{build_graph, ground_to_ground, GroundEndpoint};
+use leo_net::IslTopology;
+
+fn print_quality_table() {
+    let c = presets::starlink_550_only();
+    let snap = c.snapshot(0.0);
+    let routes = [
+        ("London-NewYork", (51.51, -0.13), (40.71, -74.01)),
+        ("Abuja-Johannesburg", (9.06, 7.49), (-26.20, 28.04)),
+        ("Lagos-Yaounde", (6.52, 3.38), (3.87, 11.52)),
+    ];
+    println!("\n# ISL topology ablation: ground-to-ground RTT (direct graph, no ground relays)");
+    println!("{:<22} {:>12} {:>12} {:>12}", "route", "+Grid", "ring-only", "no ISLs");
+    for (name, (la1, lo1), (la2, lo2)) in routes {
+        let a = GroundEndpoint::new(0, Geodetic::ground(la1, lo1));
+        let b = GroundEndpoint::new(1, Geodetic::ground(la2, lo2));
+        let mut row = format!("{name:<22}");
+        for topo in [
+            IslTopology::plus_grid(&c),
+            IslTopology::ring_only(&c),
+            IslTopology::none(&c),
+        ] {
+            let graph = build_graph(&c, &topo, &snap, &[a, b]);
+            let cell = match ground_to_ground(&graph, &a, &b) {
+                Some(p) => format!("{:>9.1} ms", p.rtt_ms()),
+                None => format!("{:>12}", "unreachable"),
+            };
+            row.push_str(&cell);
+        }
+        println!("{row}");
+    }
+    println!("# ring-only/no-ISL reachability requires both endpoints under one ring/satellite;");
+    println!("# +Grid is what makes the constellation a *network* rather than bent pipes.");
+}
+
+fn bench_topologies(c: &mut Criterion) {
+    print_quality_table();
+
+    let constellation = presets::starlink_550_only();
+    let snap = constellation.snapshot(0.0);
+    let a = GroundEndpoint::new(0, Geodetic::ground(51.51, -0.13));
+    let b = GroundEndpoint::new(1, Geodetic::ground(40.71, -74.01));
+    let grounds = [a, b];
+
+    let mut group = c.benchmark_group("isl_ablation");
+    group.sample_size(20);
+    for (label, topo) in [
+        ("plus_grid", IslTopology::plus_grid(&constellation)),
+        ("ring_only", IslTopology::ring_only(&constellation)),
+        ("none", IslTopology::none(&constellation)),
+    ] {
+        group.bench_function(format!("route_{label}"), |bch| {
+            bch.iter(|| {
+                let graph = build_graph(&constellation, &topo, &snap, &grounds);
+                black_box(ground_to_ground(&graph, &a, &b))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topologies);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Ablation of the Sticky heuristic's three knobs (DESIGN.md §6):
+//! latency slack (paper: 10 %), candidate pool size (paper: 5), and the
+//! successor-latency tie-break. For each configuration the bench prints
+//! the *quality* metrics (hand-off count, mean RTT) once, then measures
+//! the selection runtime.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leo_constellation::presets;
+use leo_core::session::run_session;
+use leo_core::{InOrbitService, Policy, SessionConfig, StickyParams};
+use leo_geo::Geodetic;
+use leo_net::routing::GroundEndpoint;
+
+fn users() -> Vec<GroundEndpoint> {
+    vec![
+        GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)),
+        GroundEndpoint::new(1, Geodetic::ground(3.87, 11.52)),
+        GroundEndpoint::new(2, Geodetic::ground(6.52, 3.38)),
+    ]
+}
+
+fn session_cfg() -> SessionConfig {
+    SessionConfig {
+        start_s: 0.0,
+        duration_s: 900.0,
+        tick_s: 15.0,
+    }
+}
+
+fn params(slack: f64, pool: usize) -> StickyParams {
+    StickyParams {
+        latency_slack: slack,
+        pool_size: pool,
+        lookahead_step_s: 30.0,
+        lookahead_horizon_s: 300.0,
+    }
+}
+
+fn print_quality_table(service: &InOrbitService) {
+    println!("\n# Sticky ablation (15-min session, 15-s ticks):");
+    println!(
+        "{:>8} {:>6} {:>10} {:>14} {:>16}",
+        "slack", "pool", "handoffs", "mean rtt (ms)", "median gap (s)"
+    );
+    let us = users();
+    let cfg = session_cfg();
+    for (slack, pool) in [
+        (0.05, 5),
+        (0.10, 5), // the paper's configuration
+        (0.20, 5),
+        (0.10, 1),
+        (0.10, 15),
+    ] {
+        let r = run_session(service, &us, Policy::Sticky(params(slack, pool)), &cfg);
+        println!(
+            "{:>7.0}% {:>6} {:>10} {:>14.2} {:>16.0}",
+            slack * 100.0,
+            pool,
+            r.handoff_count(),
+            r.mean_group_rtt_ms().unwrap_or(f64::NAN),
+            r.handoff_interval_cdf().median().unwrap_or(f64::NAN),
+        );
+    }
+    let mm = run_session(service, &us, Policy::MinMax, &cfg);
+    println!(
+        "{:>8} {:>6} {:>10} {:>14.2} {:>16.0}  <- MinMax baseline",
+        "-",
+        "-",
+        mm.handoff_count(),
+        mm.mean_group_rtt_ms().unwrap_or(f64::NAN),
+        mm.handoff_interval_cdf().median().unwrap_or(f64::NAN),
+    );
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let service = InOrbitService::new(presets::starlink_550_only());
+    print_quality_table(&service);
+
+    let us = users();
+    let cfg = SessionConfig {
+        start_s: 0.0,
+        duration_s: 120.0,
+        tick_s: 15.0,
+    };
+    let mut group = c.benchmark_group("sticky_ablation_runtime");
+    group.sample_size(10);
+    for (label, slack, pool) in [
+        ("slack05_pool5", 0.05, 5usize),
+        ("slack10_pool5", 0.10, 5),
+        ("slack20_pool5", 0.20, 5),
+        ("slack10_pool15", 0.10, 15),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(run_session(
+                    &service,
+                    &us,
+                    Policy::Sticky(params(slack, pool)),
+                    &cfg,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Discrete-event simulator throughput: event-loop cost for contended
+//! and uncontended transfer batches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leo_net::des::{DesNetwork, Link};
+use leo_net::packet::{Flow, PacketLink, PacketNetwork};
+
+fn contended(n_transfers: usize) -> Vec<f64> {
+    let mut net = DesNetwork::new();
+    let l = net.add_link(Link::new(1e10, 0.005));
+    for i in 0..n_transfers {
+        net.schedule_transfer(vec![l], 1e8, i as f64 * 1e-4);
+    }
+    net.run().iter().map(|r| r.completion_s).collect()
+}
+
+fn multi_hop(n_transfers: usize) -> Vec<f64> {
+    let mut net = DesNetwork::new();
+    let links: Vec<_> = (0..8).map(|_| net.add_link(Link::new(1e10, 0.003))).collect();
+    for i in 0..n_transfers {
+        net.schedule_transfer(links.clone(), 1e7, i as f64 * 1e-3);
+    }
+    net.run().iter().map(|r| r.completion_s).collect()
+}
+
+fn bench_des(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.sample_size(20);
+    group.bench_function("contended_1k_transfers", |b| {
+        b.iter(|| black_box(contended(1_000)))
+    });
+    group.bench_function("contended_10k_transfers", |b| {
+        b.iter(|| black_box(contended(10_000)))
+    });
+    group.bench_function("multi_hop_8_links_1k_transfers", |b| {
+        b.iter(|| black_box(multi_hop(1_000)))
+    });
+    group.finish();
+}
+
+fn packet_contention(packets: usize) -> usize {
+    let mut net = PacketNetwork::new();
+    let l = net.add_link(PacketLink::new(10e9, 0.002, 128));
+    net.add_flow(Flow {
+        route: vec![l],
+        packet_bits: 12_000.0,
+        interval_s: 12_000.0 / 2e9,
+        start_s: 0.0,
+        packets,
+    });
+    net.add_flow(Flow {
+        route: vec![l],
+        packet_bits: 120_000.0,
+        interval_s: 120_000.0 / 9e9,
+        start_s: 0.0,
+        packets: packets / 10,
+    });
+    net.run().iter().map(|s| s.delivered).sum()
+}
+
+fn bench_packet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_des");
+    group.sample_size(20);
+    group.bench_function("shared_downlink_10k_packets", |b| {
+        b.iter(|| black_box(packet_contention(10_000)))
+    });
+    group.bench_function("shared_downlink_100k_packets", |b| {
+        b.iter(|| black_box(packet_contention(100_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_des, bench_packet);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Propagation throughput: single-satellite state evaluation and
+//! whole-constellation snapshots, with the J2 on/off ablation (validating
+//! that the cheaper two-body model is *not* meaningfully cheaper — J2's
+//! secular terms cost almost nothing, so there is no reason to drop them).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leo_constellation::presets;
+use leo_geo::{Angle, Epoch};
+use leo_orbit::propagate::ForceModel;
+use leo_orbit::{KeplerianElements, Propagator};
+
+fn bench_single_state(c: &mut Criterion) {
+    let elements = KeplerianElements::circular(
+        550e3,
+        Angle::from_degrees(53.0),
+        Angle::from_degrees(17.0),
+        Angle::from_degrees(123.0),
+    );
+    let j2 = Propagator::new(elements, Epoch::J2000);
+    let two_body = Propagator::with_force_model(elements, Epoch::J2000, ForceModel::TwoBody);
+
+    let mut group = c.benchmark_group("propagate_single");
+    group.bench_function("state_at_j2", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            black_box(j2.state_at(t))
+        })
+    });
+    group.bench_function("state_at_two_body", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            black_box(two_body.state_at(t))
+        })
+    });
+    group.bench_function("position_ecef", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            black_box(j2.position_ecef(t))
+        })
+    });
+    group.finish();
+}
+
+fn bench_snapshots(c: &mut Criterion) {
+    let starlink550 = presets::starlink_550_only();
+    let starlink = presets::starlink_phase1();
+
+    let mut group = c.benchmark_group("constellation_snapshot");
+    group.sample_size(20);
+    group.bench_function("starlink_550_shell_1584_sats", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 60.0;
+            black_box(starlink550.snapshot(t))
+        })
+    });
+    group.bench_function("starlink_phase1_4409_sats", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 60.0;
+            black_box(starlink.snapshot(t))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_state, bench_snapshots);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Routing cost: ISL topology construction, per-snapshot graph build, and
+//! Dijkstra shortest paths — the per-tick cost of every session.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leo_constellation::presets;
+use leo_geo::Geodetic;
+use leo_net::routing::{build_graph, delays_to_all_sats, ground_to_ground, GroundEndpoint};
+use leo_net::IslTopology;
+
+fn bench_topology_build(c: &mut Criterion) {
+    let starlink550 = presets::starlink_550_only();
+    let starlink = presets::starlink_phase1();
+    let mut group = c.benchmark_group("isl_topology");
+    group.sample_size(10);
+    group.bench_function("plus_grid_1584", |b| {
+        b.iter(|| black_box(IslTopology::plus_grid(&starlink550)))
+    });
+    group.bench_function("plus_grid_4409", |b| {
+        b.iter(|| black_box(IslTopology::plus_grid(&starlink)))
+    });
+    group.finish();
+}
+
+fn bench_graph_and_paths(c: &mut Criterion) {
+    let constellation = presets::starlink_550_only();
+    let topo = IslTopology::plus_grid(&constellation);
+    let snap = constellation.snapshot(0.0);
+    let a = GroundEndpoint::new(0, Geodetic::ground(51.51, -0.13));
+    let b = GroundEndpoint::new(1, Geodetic::ground(40.71, -74.01));
+    let grounds = [a, b];
+    let graph = build_graph(&constellation, &topo, &snap, &grounds);
+
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(30);
+    group.bench_function("build_graph_1584", |bch| {
+        bch.iter(|| black_box(build_graph(&constellation, &topo, &snap, &grounds)))
+    });
+    group.bench_function("dijkstra_london_newyork", |bch| {
+        bch.iter(|| black_box(ground_to_ground(&graph, &a, &b)))
+    });
+    group.bench_function("delays_to_all_sats", |bch| {
+        bch.iter(|| black_box(delays_to_all_sats(&graph, &constellation, &a)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology_build, bench_graph_and_paths);
+criterion_main!(benches);

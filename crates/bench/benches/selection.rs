@@ -1,0 +1,65 @@
+//! Server-selection cost: group-delay computation, the MinMax pick, and
+//! one full Sticky selection (including its lookahead).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leo_constellation::presets;
+use leo_core::selection::{sticky_select, GroupDelays, StickyParams};
+use leo_core::InOrbitService;
+use leo_geo::Geodetic;
+use leo_net::routing::GroundEndpoint;
+
+fn users() -> Vec<GroundEndpoint> {
+    vec![
+        GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)),
+        GroundEndpoint::new(1, Geodetic::ground(3.87, 11.52)),
+        GroundEndpoint::new(2, Geodetic::ground(6.52, 3.38)),
+    ]
+}
+
+fn bench_group_delays(c: &mut Criterion) {
+    let service = InOrbitService::new(presets::starlink_550_only());
+    let us = users();
+
+    let mut group = c.benchmark_group("selection");
+    group.sample_size(20);
+    group.bench_function("group_delays_3_users_1584_sats", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            black_box(GroupDelays::compute(&service, &us, t))
+        })
+    });
+
+    let delays = GroupDelays::compute(&service, &us, 0.0);
+    group.bench_function("minmax_pick", |b| {
+        b.iter(|| black_box(delays.minmax()))
+    });
+    group.bench_function("within_slack_10pct", |b| {
+        b.iter(|| black_box(delays.within_slack(0.10)))
+    });
+    group.finish();
+}
+
+fn bench_sticky(c: &mut Criterion) {
+    let service = InOrbitService::new(presets::starlink_550_only());
+    let us = users();
+    let params = StickyParams {
+        lookahead_step_s: 60.0,
+        lookahead_horizon_s: 300.0,
+        ..StickyParams::default()
+    };
+
+    let mut group = c.benchmark_group("sticky_select");
+    group.sample_size(10);
+    group.bench_function("full_selection_with_lookahead", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 1.0;
+            black_box(sticky_select(&service, &us, t, &params))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_delays, bench_sticky);
+criterion_main!(benches);

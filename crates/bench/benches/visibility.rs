@@ -1,0 +1,47 @@
+//! Visibility-query cost: the inner loop of Figs 1, 2, 4 and of every
+//! selection tick.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use leo_cities::WorldCities;
+use leo_constellation::presets;
+use leo_geo::{Ecef, Geodetic};
+use leo_net::visibility::{coverage_mask, visible_sats};
+
+fn bench_visible_sats(c: &mut Criterion) {
+    let starlink = presets::starlink_phase1();
+    let kuiper = presets::kuiper();
+    let snap_s = starlink.snapshot(0.0);
+    let snap_k = kuiper.snapshot(0.0);
+    let g = Geodetic::ground(20.0, 30.0);
+    let ge = g.to_ecef_spherical();
+
+    let mut group = c.benchmark_group("visible_sats");
+    group.bench_function("starlink_phase1", |b| {
+        b.iter(|| black_box(visible_sats(&starlink, &snap_s, g, ge)))
+    });
+    group.bench_function("kuiper", |b| {
+        b.iter(|| black_box(visible_sats(&kuiper, &snap_k, g, ge)))
+    });
+    group.finish();
+}
+
+fn bench_coverage_mask(c: &mut Criterion) {
+    let starlink = presets::starlink_phase1();
+    let snap = starlink.snapshot(0.0);
+    let cities = WorldCities::load();
+    let grounds: Vec<(Geodetic, Ecef)> = cities
+        .top_n_geodetic(100)
+        .into_iter()
+        .map(|g| (g, g.to_ecef_spherical()))
+        .collect();
+
+    let mut group = c.benchmark_group("coverage_mask");
+    group.sample_size(20);
+    group.bench_function("starlink_100_cities", |b| {
+        b.iter(|| black_box(coverage_mask(&starlink, &snap, &grounds)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_visible_sats, bench_coverage_mask);
+criterion_main!(benches);

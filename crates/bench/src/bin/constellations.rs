@@ -1,0 +1,79 @@
+//! Cross-constellation comparison: the Fig 1/2 access metrics for every
+//! preset (Starlink Phase I, Starlink 550-only, Kuiper, Telesat) at
+//! representative latitudes — the "which constellation is the better
+//! compute provider" table the paper implies but never prints.
+//!
+//! Run: `cargo run -p leo-bench --release --bin constellations`
+//! (add `--quick` for coarse sampling).
+
+use leo_bench::{quick_mode, write_results};
+use leo_constellation::presets;
+use leo_core::access::{access_stats, SamplingConfig};
+use leo_core::InOrbitService;
+use leo_geo::Geodetic;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    constellation: String,
+    satellites: usize,
+    latitude_deg: f64,
+    nearest_rtt_ms: Option<f64>,
+    farthest_rtt_ms: Option<f64>,
+    avg_reachable: f64,
+}
+
+fn main() {
+    let sampling = if quick_mode() {
+        SamplingConfig {
+            start_s: 0.0,
+            interval_s: 600.0,
+            samples: 4,
+        }
+    } else {
+        SamplingConfig::coarse()
+    };
+    let latitudes = [0.0, 25.0, 45.0, 60.0, 75.0];
+
+    let mut rows = Vec::new();
+    println!("# Access metrics by constellation (worst-over-time RTT, avg reachable count)");
+    println!(
+        "{:<22} {:>6} {:>6} {:>12} {:>12} {:>10}",
+        "constellation", "sats", "lat", "nearest", "farthest", "reachable"
+    );
+    for constellation in [
+        presets::starlink_phase1(),
+        presets::starlink_550_only(),
+        presets::kuiper(),
+        presets::telesat(),
+    ] {
+        let name = constellation.name().to_string();
+        let sats = constellation.num_satellites();
+        let service = InOrbitService::new(constellation);
+        for &lat in &latitudes {
+            let stats = access_stats(&service, Geodetic::ground(lat, 0.0), &sampling);
+            let fmt = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.1} ms"));
+            println!(
+                "{:<22} {:>6} {:>5.0}° {:>12} {:>12} {:>10.1}",
+                name,
+                sats,
+                lat,
+                fmt(stats.nearest_rtt_ms),
+                fmt(stats.farthest_rtt_ms),
+                stats.avg_count
+            );
+            rows.push(Row {
+                constellation: name.clone(),
+                satellites: sats,
+                latitude_deg: lat,
+                nearest_rtt_ms: stats.nearest_rtt_ms,
+                farthest_rtt_ms: stats.farthest_rtt_ms,
+                avg_reachable: stats.avg_count,
+            });
+        }
+    }
+
+    println!("\n# Telesat's 351 satellites buy polar coverage (98.98° shell) that");
+    println!("# Kuiper lacks, at the cost of higher RTT from its 1,000+ km shells.");
+    write_results("constellations", &rows);
+}

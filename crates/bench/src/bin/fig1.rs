@@ -1,0 +1,99 @@
+//! Fig 1: max and min RTT (ms) to reachable satellite-servers vs
+//! latitude, for Starlink Phase I and Kuiper.
+//!
+//! Methodology (paper §3.1): from a ground location at each latitude,
+//! every minute over two hours, measure the RTT to the nearest and the
+//! farthest directly reachable satellite; report the maximum across the
+//! time samples. Run: `cargo run -p leo-bench --release --bin fig1`
+//! (add `--quick` for coarse sampling).
+
+use leo_bench::{parallel_map, quick_mode, write_results};
+use leo_constellation::presets;
+use leo_core::access::{access_stats, SamplingConfig};
+use leo_core::InOrbitService;
+use leo_geo::Geodetic;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    latitude_deg: f64,
+    starlink_min_rtt_ms: Option<f64>,
+    starlink_max_rtt_ms: Option<f64>,
+    kuiper_min_rtt_ms: Option<f64>,
+    kuiper_max_rtt_ms: Option<f64>,
+}
+
+fn main() {
+    let quick = quick_mode();
+    let sampling = if quick {
+        SamplingConfig::coarse()
+    } else {
+        SamplingConfig::paper()
+    };
+    let step = if quick { 5.0 } else { 1.0 };
+
+    let starlink = InOrbitService::new(presets::starlink_phase1());
+    let kuiper = InOrbitService::new(presets::kuiper());
+
+    let lats: Vec<f64> = {
+        let mut v = Vec::new();
+        let mut lat = 0.0;
+        while lat <= 90.0 + 1e-9 {
+            v.push(lat);
+            lat += step;
+        }
+        v
+    };
+
+    let rows = parallel_map(lats, 8, |&lat| {
+        let ground = Geodetic::ground(lat, 0.0);
+        let s = access_stats(&starlink, ground, &sampling);
+        let k = access_stats(&kuiper, ground, &sampling);
+        Row {
+            latitude_deg: lat,
+            starlink_min_rtt_ms: s.nearest_rtt_ms,
+            starlink_max_rtt_ms: s.farthest_rtt_ms,
+            kuiper_min_rtt_ms: k.nearest_rtt_ms,
+            kuiper_max_rtt_ms: k.farthest_rtt_ms,
+        }
+    });
+
+    println!("# Fig 1: Max and Min RTT (ms) to reachable satellite-servers vs latitude");
+    println!("# latency = worst case across {} samples every {} s", sampling.samples, sampling.interval_s);
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14}",
+        "lat", "starlink-min", "starlink-max", "kuiper-min", "kuiper-max"
+    );
+    let fmt = |v: Option<f64>| v.map_or("-".to_string(), |x| format!("{x:.2}"));
+    for r in &rows {
+        println!(
+            "{:>8.1} {:>14} {:>14} {:>14} {:>14}",
+            r.latitude_deg,
+            fmt(r.starlink_min_rtt_ms),
+            fmt(r.starlink_max_rtt_ms),
+            fmt(r.kuiper_min_rtt_ms),
+            fmt(r.kuiper_max_rtt_ms),
+        );
+    }
+
+    // Paper-level summary.
+    let max_star_min = rows
+        .iter()
+        .filter_map(|r| r.starlink_min_rtt_ms)
+        .fold(0.0f64, f64::max);
+    let max_star_max = rows
+        .iter()
+        .filter_map(|r| r.starlink_max_rtt_ms)
+        .fold(0.0f64, f64::max);
+    let kuiper_cutoff = rows
+        .iter()
+        .filter(|r| r.kuiper_min_rtt_ms.is_some())
+        .map(|r| r.latitude_deg)
+        .fold(0.0f64, f64::max);
+    println!("\n# summary (paper in parentheses)");
+    println!("#   Starlink nearest, worst over all latitudes : {max_star_min:.1} ms (11 ms)");
+    println!("#   Starlink farthest, worst over all latitudes: {max_star_max:.1} ms (16 ms)");
+    println!("#   Kuiper service cutoff latitude             : {kuiper_cutoff:.0}° (no service beyond 60°)");
+
+    write_results("fig1", &rows);
+}

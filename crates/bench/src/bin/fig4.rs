@@ -1,0 +1,72 @@
+//! Fig 4: number of satellites not directly reachable from the largest
+//! *n* cities, n ∈ {100, 200, …, 1000}, for Starlink Phase I and Kuiper.
+//!
+//! Paper: even with ground stations at 1,000 cities, more than a third of
+//! Starlink's and more than half of Kuiper's satellites are "invisible"
+//! at any time. Run: `cargo run -p leo-bench --release --bin fig4`.
+
+use leo_apps::spacenative::invisible_count;
+use leo_bench::write_results;
+use leo_cities::WorldCities;
+use leo_constellation::presets;
+use leo_core::InOrbitService;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    num_cities: usize,
+    starlink_invisible: usize,
+    starlink_fraction: f64,
+    kuiper_invisible: usize,
+    kuiper_fraction: f64,
+}
+
+fn main() {
+    let starlink = InOrbitService::new(presets::starlink_phase1());
+    let kuiper = InOrbitService::new(presets::kuiper());
+    let cities = WorldCities::load_at_least(1000);
+
+    let mut rows = Vec::new();
+    for n in (100..=1000).step_by(100) {
+        let sites = cities.top_n_geodetic(n);
+        let s = invisible_count(&starlink, &sites, 0.0);
+        let k = invisible_count(&kuiper, &sites, 0.0);
+        rows.push(Row {
+            num_cities: n,
+            starlink_invisible: s.invisible,
+            starlink_fraction: s.fraction(),
+            kuiper_invisible: k.invisible,
+            kuiper_fraction: k.fraction(),
+        });
+    }
+
+    println!("# Fig 4: invisible satellites vs number of ground cities (snapshot at t=0)");
+    println!("# constellation sizes: Starlink P1 = 4409, Kuiper = 3236");
+    println!(
+        "{:>8} {:>12} {:>8} {:>12} {:>8}",
+        "cities", "starlink", "frac", "kuiper", "frac"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>12} {:>7.1}% {:>12} {:>7.1}%",
+            r.num_cities,
+            r.starlink_invisible,
+            r.starlink_fraction * 100.0,
+            r.kuiper_invisible,
+            r.kuiper_fraction * 100.0,
+        );
+    }
+
+    let last = rows.last().unwrap();
+    println!("\n# summary (paper in parentheses)");
+    println!(
+        "#   Starlink invisible at 1000 cities: {:.0}% (more than a third)",
+        last.starlink_fraction * 100.0
+    );
+    println!(
+        "#   Kuiper invisible at 1000 cities  : {:.0}% (more than a half)",
+        last.kuiper_fraction * 100.0
+    );
+
+    write_results("fig4", &rows);
+}

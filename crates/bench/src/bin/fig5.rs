@@ -1,0 +1,65 @@
+//! Fig 5: map of the "invisible" Starlink satellites against the 1,000
+//! largest population centers.
+//!
+//! Prints an ASCII plate-carrée world map (cities `.`, invisible
+//! satellites `o`) and writes both point layers as JSON for external
+//! plotting. Run: `cargo run -p leo-bench --release --bin fig5`.
+
+use leo_apps::spacenative::{invisible_count, invisible_positions};
+use leo_bench::write_results;
+use leo_cities::WorldCities;
+use leo_constellation::presets;
+use leo_core::InOrbitService;
+use leo_geo::projection::AsciiMap;
+use leo_geo::Geodetic;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig5Data {
+    cities: Vec<(f64, f64)>,
+    invisible_satellites: Vec<(f64, f64)>,
+}
+
+fn main() {
+    let service = InOrbitService::new(presets::starlink_phase1());
+    let cities = WorldCities::load_at_least(1000);
+    let sites: Vec<Geodetic> = cities.top_n_geodetic(1000);
+
+    let report = invisible_count(&service, &sites, 0.0);
+    let invisible = invisible_positions(&service, &sites, 0.0);
+
+    println!(
+        "# Fig 5: invisible Starlink satellites ({} of {}) vs the 1000 largest cities",
+        report.invisible, report.total_sats
+    );
+    println!("# '.' = city, 'o' = invisible satellite\n");
+
+    let mut map = AsciiMap::new(144, 40);
+    map.plot(sites.iter(), '.');
+    map.plot(invisible.iter(), 'o');
+    println!("{}", map.render());
+
+    let south = invisible
+        .iter()
+        .filter(|p| p.lat.degrees() < 0.0)
+        .count();
+    println!(
+        "\n# {south} of {} invisible satellites are in the southern hemisphere \
+         (paper: \"the vast majority … South of most of the World's population\")",
+        invisible.len()
+    );
+
+    write_results(
+        "fig5",
+        &Fig5Data {
+            cities: sites
+                .iter()
+                .map(|g| (g.lat.degrees(), g.lon.degrees()))
+                .collect(),
+            invisible_satellites: invisible
+                .iter()
+                .map(|g| (g.lat.degrees(), g.lon.degrees()))
+                .collect(),
+        },
+    );
+}

@@ -1,0 +1,88 @@
+//! Fig 6: CDF of the time between satellite hand-offs, Sticky vs MinMax.
+//!
+//! Paper: "the median time between hand-offs is 164 sec for Sticky, i.e.,
+//! 4× longer than for MinMax." Run:
+//! `cargo run -p leo-bench --release --bin fig6` (add `--quick`).
+
+use leo_bench::{quick_mode, write_results};
+use leo_constellation::presets;
+use leo_core::session::run_session;
+use leo_core::{Cdf, InOrbitService, Policy, SessionConfig};
+use leo_geo::Geodetic;
+use leo_net::routing::GroundEndpoint;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PolicySeries {
+    policy: String,
+    intervals_s: Vec<f64>,
+    median_s: Option<f64>,
+}
+
+/// The user groups driving the sessions: the paper's West Africa example
+/// plus additional groups so the CDF aggregates diverse geometry.
+fn groups() -> Vec<Vec<GroundEndpoint>> {
+    let mk = |pts: &[(f64, f64)]| {
+        pts.iter()
+            .enumerate()
+            .map(|(i, &(lat, lon))| GroundEndpoint::new(i as u32, Geodetic::ground(lat, lon)))
+            .collect::<Vec<_>>()
+    };
+    vec![
+        // West Africa (Fig 3).
+        mk(&[(9.06, 7.49), (3.87, 11.52), (6.52, 3.38)]),
+        // Southern South America.
+        mk(&[(-34.60, -58.38), (-33.45, -70.67), (-31.42, -64.18)]),
+        // South-East Asia.
+        mk(&[(1.35, 103.82), (3.139, 101.69), (-6.21, 106.85)]),
+        // Central Europe.
+        mk(&[(47.38, 8.54), (48.86, 2.35), (52.52, 13.40)]),
+    ]
+}
+
+fn main() {
+    let service = InOrbitService::new(presets::starlink_phase1_conservative());
+    let cfg = SessionConfig {
+        start_s: 0.0,
+        duration_s: if quick_mode() { 900.0 } else { 7200.0 },
+        tick_s: if quick_mode() { 5.0 } else { 1.0 },
+    };
+
+    let mut series = Vec::new();
+    for policy in [Policy::MinMax, Policy::sticky_default()] {
+        let mut intervals = Vec::new();
+        for users in groups() {
+            let r = run_session(&service, &users, policy, &cfg);
+            intervals.extend(r.times_between_handoffs());
+        }
+        let cdf = Cdf::new(intervals.clone());
+        series.push(PolicySeries {
+            policy: policy.name().into(),
+            median_s: cdf.median(),
+            intervals_s: cdf.samples().to_vec(),
+        });
+    }
+
+    println!("# Fig 6: CDF of time between hand-offs (s), {} user groups, {:.0}-s ticks", groups().len(), cfg.tick_s);
+    println!("{:>10} {:>12} {:>12}", "quantile", "MinMax", "Sticky");
+    let mm = Cdf::new(series[0].intervals_s.clone());
+    let st = Cdf::new(series[1].intervals_s.clone());
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        println!(
+            "{:>10.2} {:>10.0} s {:>10.0} s",
+            q,
+            mm.quantile(q).unwrap_or(f64::NAN),
+            st.quantile(q).unwrap_or(f64::NAN)
+        );
+    }
+    let (mmed, smed) = (
+        mm.median().unwrap_or(f64::NAN),
+        st.median().unwrap_or(f64::NAN),
+    );
+    println!("\n# summary (paper in parentheses)");
+    println!("#   MinMax median interval : {mmed:.0} s");
+    println!("#   Sticky median interval : {smed:.0} s (164 s)");
+    println!("#   Sticky/MinMax ratio    : {:.1}x (4x)", smed / mmed);
+
+    write_results("fig6", &series);
+}

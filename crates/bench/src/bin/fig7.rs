@@ -1,0 +1,93 @@
+//! Fig 7: CDF of the state-transfer latency to the successor server,
+//! Sticky vs MinMax.
+//!
+//! Paper: "the latency incurred in migrating state to the successor
+//! server is similar and low for both approaches, with Sticky providing
+//! an advantage in the tail." Run:
+//! `cargo run -p leo-bench --release --bin fig7` (add `--quick`).
+
+use leo_bench::{quick_mode, write_results};
+use leo_constellation::presets;
+use leo_core::session::run_session;
+use leo_core::{Cdf, InOrbitService, Policy, SessionConfig};
+use leo_geo::Geodetic;
+use leo_net::routing::GroundEndpoint;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PolicySeries {
+    policy: String,
+    transfer_latencies_ms: Vec<f64>,
+    median_ms: Option<f64>,
+    p99_ms: Option<f64>,
+}
+
+fn groups() -> Vec<Vec<GroundEndpoint>> {
+    let mk = |pts: &[(f64, f64)]| {
+        pts.iter()
+            .enumerate()
+            .map(|(i, &(lat, lon))| GroundEndpoint::new(i as u32, Geodetic::ground(lat, lon)))
+            .collect::<Vec<_>>()
+    };
+    vec![
+        mk(&[(9.06, 7.49), (3.87, 11.52), (6.52, 3.38)]),
+        mk(&[(-34.60, -58.38), (-33.45, -70.67), (-31.42, -64.18)]),
+        mk(&[(1.35, 103.82), (3.139, 101.69), (-6.21, 106.85)]),
+        mk(&[(47.38, 8.54), (48.86, 2.35), (52.52, 13.40)]),
+    ]
+}
+
+fn main() {
+    let service = InOrbitService::new(presets::starlink_phase1_conservative());
+    let cfg = SessionConfig {
+        start_s: 0.0,
+        duration_s: if quick_mode() { 900.0 } else { 7200.0 },
+        tick_s: if quick_mode() { 5.0 } else { 1.0 },
+    };
+
+    let mut series = Vec::new();
+    for policy in [Policy::MinMax, Policy::sticky_default()] {
+        let mut latencies = Vec::new();
+        for users in groups() {
+            let r = run_session(&service, &users, policy, &cfg);
+            latencies.extend(
+                r.events
+                    .iter()
+                    .filter_map(|e| e.transfer_latency_ms),
+            );
+        }
+        let cdf = Cdf::new(latencies);
+        series.push(PolicySeries {
+            policy: policy.name().into(),
+            median_ms: cdf.median(),
+            p99_ms: cdf.quantile(0.99),
+            transfer_latencies_ms: cdf.samples().to_vec(),
+        });
+    }
+
+    println!("# Fig 7: CDF of state-transfer latency to the successor (ms)");
+    println!("{:>10} {:>12} {:>12}", "quantile", "MinMax", "Sticky");
+    let mm = Cdf::new(series[0].transfer_latencies_ms.clone());
+    let st = Cdf::new(series[1].transfer_latencies_ms.clone());
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        println!(
+            "{:>10.2} {:>9.2} ms {:>9.2} ms",
+            q,
+            mm.quantile(q).unwrap_or(f64::NAN),
+            st.quantile(q).unwrap_or(f64::NAN)
+        );
+    }
+    println!("\n# summary (paper: similar medians, Sticky better in the tail)");
+    println!(
+        "#   medians: MinMax {:.2} ms vs Sticky {:.2} ms",
+        mm.median().unwrap_or(f64::NAN),
+        st.median().unwrap_or(f64::NAN)
+    );
+    println!(
+        "#   p99    : MinMax {:.2} ms vs Sticky {:.2} ms",
+        mm.quantile(0.99).unwrap_or(f64::NAN),
+        st.quantile(0.99).unwrap_or(f64::NAN)
+    );
+
+    write_results("fig7", &series);
+}

@@ -1,0 +1,92 @@
+//! # leo-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper
+//! (`fig1` … `fig7`, `feasibility`), plus Criterion micro-benchmarks and
+//! ablation benches. See DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! Every binary prints gnuplot-ready columns to stdout and writes the
+//! same series as JSON under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+use std::path::Path;
+
+/// Writes an experiment's data as pretty JSON under `results/<name>.json`
+/// (creating the directory), and reports where it went on stderr.
+pub fn write_results<T: Serialize>(name: &str, data: &T) {
+    let dir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(data) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Returns true when the binary was invoked with `--quick` (coarser
+/// sampling for CI / smoke runs).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Splits `items` across `threads` chunks and maps them in parallel with
+/// crossbeam scoped threads, preserving input order in the output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(threads > 0);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            s.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<i64> = (0..100).collect();
+        let out = parallel_map(items.clone(), 7, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(Vec::<i32>::new(), 4, |&x| x), Vec::<i32>::new());
+        assert_eq!(parallel_map(vec![42], 4, |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn parallel_map_with_more_threads_than_items() {
+        let out = parallel_map(vec![1, 2, 3], 16, |&x| x * x);
+        assert_eq!(out, vec![1, 4, 9]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # leo-cities
+//!
+//! Ground-segment datasets: the world's largest population centers and the
+//! 2020-era Azure data-center regions.
+//!
+//! The paper's Figs 4–5 place ground stations at the largest *n* cities by
+//! population (n up to 1000) and count the satellites invisible from all
+//! of them; Fig 3 compares in-orbit meetup servers against Azure regions.
+//!
+//! * [`city`] — the [`City`] record and conversions.
+//! * [`data`] — an embedded catalog of 1,000+ real largest population
+//!   centers (coordinates good to ~0.1°, metro-area populations).
+//! * [`synth`] — deterministic extension of the real catalog to any
+//!   requested size by population-weighted sampling around real urban
+//!   basins (documented substitution; see DESIGN.md §4).
+//! * [`dataset`] — [`WorldCities`]: ranked queries
+//!   (`top_n`), filters, and ground-station conversion.
+//! * [`azure`] — the Azure region catalog used by the Fig 3 scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod azure;
+pub mod city;
+pub mod data;
+pub mod dataset;
+pub mod synth;
+
+pub use azure::{azure_regions, AzureRegion};
+pub use city::City;
+pub use dataset::WorldCities;

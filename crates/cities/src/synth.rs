@@ -1,0 +1,185 @@
+//! Deterministic extension of the real city catalog.
+//!
+//! The paper's Fig. 4 sweeps ground-station sets up to the 1,000 largest
+//! population centers. The embedded real catalog ([`crate::data`]) holds
+//! 1,000+; when more are requested, this module synthesizes additional
+//! cities by population-weighted sampling *around real urban basins*:
+//! a real anchor city is drawn with probability proportional to its
+//! population, and a synthetic secondary city is placed a small offset
+//! away with a population continuing the catalog's rank-size tail.
+//!
+//! Rationale (also in DESIGN.md §4): the figure's shape depends on the
+//! *geographic footprint* of ground sites — secondary cities cluster near
+//! primary ones in reality (urban corridors), so sampling near anchors
+//! preserves exactly the property the experiment measures. The generator
+//! is fully deterministic (SplitMix64 with a fixed seed), so every run and
+//! every test sees the same catalog.
+
+use crate::city::City;
+use crate::data::{RAW_CITIES, REAL_CITY_COUNT};
+
+/// Deterministic 64-bit SplitMix generator (stable across platforms and
+/// releases, unlike external RNG crates' seeding guarantees).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+/// Fixed seed for the synthetic extension — changing it would change the
+/// golden numbers in EXPERIMENTS.md, so don't.
+pub const SYNTH_SEED: u64 = 0x1E0_CAFE_2020;
+
+/// Synthesizes `count` additional cities following the real catalog.
+///
+/// Populations continue the rank-size (Zipf-like) tail of the real list;
+/// positions are offset up to ±3° from a population-weighted real anchor.
+pub fn synthesize(count: usize) -> Vec<City> {
+    let mut rng = SplitMix64::new(SYNTH_SEED);
+
+    // Cumulative population weights over the real catalog.
+    let total_pop: u64 = RAW_CITIES.iter().map(|c| c.4).sum();
+    let mut cumulative = Vec::with_capacity(REAL_CITY_COUNT);
+    let mut acc = 0u64;
+    for c in RAW_CITIES {
+        acc += c.4;
+        cumulative.push(acc);
+    }
+
+    // Tail starts below the smallest real population.
+    let min_real_pop = RAW_CITIES.iter().map(|c| c.4).min().unwrap_or(100) * 1000;
+
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let pick = (rng.next_f64() * total_pop as f64) as u64;
+        let idx = cumulative.partition_point(|&c| c <= pick).min(REAL_CITY_COUNT - 1);
+        let (name, country, lat, lon, _) = RAW_CITIES[idx];
+
+        let dlat = rng.range(-3.0, 3.0);
+        let dlon = rng.range(-3.0, 3.0);
+        let lat = (lat + dlat).clamp(-65.0, 72.0);
+        let lon = {
+            let mut l = lon + dlon;
+            if l > 180.0 {
+                l -= 360.0;
+            } else if l < -180.0 {
+                l += 360.0;
+            }
+            l
+        };
+        // Rank-size tail: population decays with synthetic rank.
+        let population =
+            (min_real_pop as f64 * (1.0 / (1.0 + i as f64 * 0.01)).max(0.05)) as u64;
+        out.push(City {
+            name: format!("{name}-satellite-{i}"),
+            country: country.to_string(),
+            lat_deg: lat,
+            lon_deg: lon,
+            population,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_floats_are_in_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn splitmix_mean_is_near_half() {
+        let mut rng = SplitMix64::new(99);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        assert!((sum / n as f64 - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = synthesize(100);
+        let b = synthesize(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn synthesized_cities_have_valid_coordinates() {
+        for c in synthesize(500) {
+            assert!((-90.0..=90.0).contains(&c.lat_deg), "{}", c.name);
+            assert!((-180.0..=180.0).contains(&c.lon_deg), "{}", c.name);
+            assert!(c.population > 0);
+        }
+    }
+
+    #[test]
+    fn synthesized_populations_never_exceed_real_minimum() {
+        let min_real = RAW_CITIES.iter().map(|c| c.4).min().unwrap() * 1000;
+        for c in synthesize(300) {
+            assert!(c.population <= min_real, "{} too populous", c.name);
+        }
+    }
+
+    #[test]
+    fn synthesized_cities_stay_near_civilization() {
+        // Every synthetic city is within ~5° of some real city (3° offset
+        // plus clamping) — no ground stations in the open ocean far from
+        // any real urban basin.
+        for c in synthesize(200) {
+            let near = RAW_CITIES.iter().any(|&(_, _, la, lo, _)| {
+                let dlo = (c.lon_deg - lo).abs().min(360.0 - (c.lon_deg - lo).abs());
+                (c.lat_deg - la).abs() < 9.0 && dlo < 5.0
+            });
+            assert!(near, "{} stranded at ({}, {})", c.name, c.lat_deg, c.lon_deg);
+        }
+    }
+
+    #[test]
+    fn synthesized_footprint_is_population_weighted() {
+        // Most anchors are in the northern hemisphere, so most synthetic
+        // cities must be too.
+        let cities = synthesize(1000);
+        let north = cities.iter().filter(|c| c.lat_deg > 0.0).count();
+        assert!(north > 600, "north {north}");
+    }
+}

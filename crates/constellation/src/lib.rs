@@ -1,0 +1,27 @@
+//! # leo-constellation
+//!
+//! Walker-shell mega-constellation generator with the exact Starlink
+//! Phase I and Kuiper configurations evaluated by the paper.
+//!
+//! * [`shell`] — a single Walker shell (altitude, inclination, planes ×
+//!   satellites-per-plane, phasing, minimum elevation) and its satellite
+//!   generator.
+//! * [`presets`] — the filed constellation configurations: Starlink
+//!   Phase I (4,409 satellites in 5 shells, per the 2019 FCC
+//!   modification), Kuiper (3,236 satellites in 3 shells), Telesat, and a
+//!   GEO reference satellite.
+//! * [`constellation`] — a whole constellation: satellite identity
+//!   (shell / plane / slot), propagators, position snapshots at arbitrary
+//!   simulation times, and TLE export.
+//!
+//! The coordinate and force-model conventions follow [`leo_orbit`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constellation;
+pub mod presets;
+pub mod shell;
+
+pub use constellation::{Constellation, SatId, Satellite, Snapshot};
+pub use shell::{ShellSpec, WalkerPattern};

@@ -1,0 +1,288 @@
+//! Ahead-of-time state replication planning.
+//!
+//! §5's closing paragraph: *"it may be beneficial to separate
+//! session-specific state from generic application state, e.g., the
+//! player and game state versus the virtual world of a game, and perform
+//! live migration only for the session-specific state, while generic
+//! state is replicated even further ahead."*
+//!
+//! Satellite motion is predictable, so the sequence of future
+//! meetup-servers is computable in advance. [`predict_servers`] rolls
+//! the selection policy forward; [`ReplicationPlan`] turns the
+//! prediction into a prefetch schedule for the generic state (replicate
+//! to the next `depth` future servers, `lead_time_s` before they take
+//! over) and quantifies the payoff: at hand-off time only the small
+//! session state moves on the critical path.
+
+use crate::selection::{sticky_select, GroupDelays, Policy};
+use crate::service::InOrbitService;
+use leo_constellation::SatId;
+use leo_net::des::{uncontended_transfer_s, Link};
+use leo_net::routing::GroundEndpoint;
+use serde::{Deserialize, Serialize};
+
+/// One predicted serving interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingInterval {
+    /// The server.
+    pub server: SatId,
+    /// When it takes over, seconds.
+    pub from_s: f64,
+    /// When it hands off (exclusive), seconds.
+    pub until_s: f64,
+}
+
+impl ServingInterval {
+    /// Interval length, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.until_s - self.from_s
+    }
+}
+
+/// Rolls the selection policy forward from `start_s` for `horizon_s`,
+/// sampling every `step_s`, and returns the predicted sequence of
+/// serving intervals. Gaps (no satellite serves the whole group) end the
+/// current interval; prediction resumes at the next served sample.
+pub fn predict_servers(
+    service: &InOrbitService,
+    users: &[GroundEndpoint],
+    policy: Policy,
+    start_s: f64,
+    horizon_s: f64,
+    step_s: f64,
+) -> Vec<ServingInterval> {
+    assert!(step_s > 0.0 && horizon_s > 0.0);
+    let mut intervals: Vec<ServingInterval> = Vec::new();
+    let mut current: Option<ServingInterval> = None;
+    let steps = (horizon_s / step_s).round() as usize;
+    for i in 0..=steps {
+        let t = start_s + i as f64 * step_s;
+        let delays = GroupDelays::direct(service, users, t);
+        let desired = match (policy, &current) {
+            (_, _) if delays.minmax().is_none() => None,
+            (Policy::MinMax, _) => delays.minmax().map(|(s, _)| s),
+            (Policy::Sticky(_), Some(cur)) if delays.delay_s(cur.server).is_finite() => {
+                Some(cur.server)
+            }
+            (Policy::Sticky(params), _) => sticky_select(service, users, t, &params)
+                .or_else(|| delays.minmax().map(|(s, _)| s)),
+        };
+        match (&mut current, desired) {
+            (Some(cur), Some(d)) if cur.server == d => cur.until_s = t + step_s,
+            (cur, Some(d)) => {
+                if let Some(done) = cur.take() {
+                    intervals.push(done);
+                }
+                *cur = Some(ServingInterval {
+                    server: d,
+                    from_s: t,
+                    until_s: t + step_s,
+                });
+            }
+            (cur, None) => {
+                if let Some(done) = cur.take() {
+                    intervals.push(done);
+                }
+            }
+        }
+    }
+    if let Some(done) = current {
+        intervals.push(done);
+    }
+    intervals
+}
+
+/// Sizes of the two state classes, bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StateSizes {
+    /// Session-specific state (player positions, scores…): migrated live
+    /// at each hand-off, on the critical path.
+    pub session_bytes: f64,
+    /// Generic application state (the virtual world…): replicated ahead,
+    /// off the critical path.
+    pub generic_bytes: f64,
+}
+
+/// One prefetch order: push the generic state to `target` by `by_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchOrder {
+    /// Destination server.
+    pub target: SatId,
+    /// Start the push at this time, seconds.
+    pub start_s: f64,
+    /// Must complete by this time (the server's takeover), seconds.
+    pub deadline_s: f64,
+}
+
+/// A replication plan over a predicted server sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationPlan {
+    /// The predicted serving sequence the plan is built on.
+    pub intervals: Vec<ServingInterval>,
+    /// Prefetch orders for the generic state.
+    pub orders: Vec<PrefetchOrder>,
+    /// State sizes the plan was built for.
+    pub sizes: StateSizes,
+}
+
+impl ReplicationPlan {
+    /// Builds a plan: for each future serving interval (up to `depth`
+    /// ahead of the current one), schedule the generic-state push to
+    /// start `lead_time_s` before takeover.
+    pub fn build(
+        intervals: Vec<ServingInterval>,
+        sizes: StateSizes,
+        depth: usize,
+        lead_time_s: f64,
+    ) -> Self {
+        let orders = intervals
+            .iter()
+            .skip(1)
+            .take(depth)
+            .map(|iv| PrefetchOrder {
+                target: iv.server,
+                start_s: (iv.from_s - lead_time_s).max(0.0),
+                deadline_s: iv.from_s,
+            })
+            .collect();
+        ReplicationPlan {
+            intervals,
+            orders,
+            sizes,
+        }
+    }
+
+    /// Critical-path data volume at each hand-off *with* the plan:
+    /// session state only.
+    pub fn critical_path_bytes(&self) -> f64 {
+        self.sizes.session_bytes
+    }
+
+    /// Critical-path volume *without* the plan: everything moves at
+    /// hand-off time.
+    pub fn unplanned_critical_path_bytes(&self) -> f64 {
+        self.sizes.session_bytes + self.sizes.generic_bytes
+    }
+
+    /// Hand-off critical-path time (seconds) with and without the plan,
+    /// over a migration path of `links`.
+    pub fn handoff_times_s(&self, links: &[Link]) -> (f64, f64) {
+        let with = uncontended_transfer_s(self.critical_path_bytes() * 8.0, links);
+        let without = uncontended_transfer_s(self.unplanned_critical_path_bytes() * 8.0, links);
+        (with, without)
+    }
+
+    /// True when every prefetch has enough time to finish over `links`
+    /// before its deadline.
+    pub fn prefetches_feasible(&self, links: &[Link]) -> bool {
+        let t = uncontended_transfer_s(self.sizes.generic_bytes * 8.0, links);
+        self.orders.iter().all(|o| o.deadline_s - o.start_s >= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_constellation::presets;
+    use leo_geo::Geodetic;
+
+    fn users() -> Vec<GroundEndpoint> {
+        vec![
+            GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)),
+            GroundEndpoint::new(1, Geodetic::ground(3.87, 11.52)),
+            GroundEndpoint::new(2, Geodetic::ground(6.52, 3.38)),
+        ]
+    }
+
+    fn service() -> InOrbitService {
+        InOrbitService::new(presets::starlink_phase1_conservative())
+    }
+
+    #[test]
+    fn prediction_intervals_are_ordered_and_disjoint() {
+        let s = service();
+        let iv = predict_servers(&s, &users(), Policy::MinMax, 0.0, 900.0, 15.0);
+        assert!(!iv.is_empty());
+        for w in iv.windows(2) {
+            assert!(w[0].until_s <= w[1].from_s + 1e-9);
+            assert_ne!(w[0].server, w[1].server, "adjacent intervals must differ");
+        }
+        for i in &iv {
+            assert!(i.duration_s() > 0.0);
+        }
+    }
+
+    #[test]
+    fn sticky_prediction_yields_fewer_longer_intervals() {
+        let s = service();
+        let mm = predict_servers(&s, &users(), Policy::MinMax, 0.0, 1800.0, 15.0);
+        let st = predict_servers(&s, &users(), Policy::sticky_default(), 0.0, 1800.0, 15.0);
+        assert!(st.len() <= mm.len(), "sticky {} vs minmax {}", st.len(), mm.len());
+    }
+
+    #[test]
+    fn plan_covers_the_requested_depth() {
+        let s = service();
+        let iv = predict_servers(&s, &users(), Policy::sticky_default(), 0.0, 1800.0, 15.0);
+        let sizes = StateSizes {
+            session_bytes: 10e6,
+            generic_bytes: 2e9,
+        };
+        let depth = 2.min(iv.len().saturating_sub(1));
+        let plan = ReplicationPlan::build(iv.clone(), sizes, 2, 60.0);
+        assert_eq!(plan.orders.len(), depth);
+        for (o, target_iv) in plan.orders.iter().zip(iv.iter().skip(1)) {
+            assert_eq!(o.target, target_iv.server);
+            assert!(o.start_s <= o.deadline_s);
+            assert_eq!(o.deadline_s, target_iv.from_s);
+        }
+    }
+
+    #[test]
+    fn plan_shrinks_the_critical_path_by_the_generic_share() {
+        let sizes = StateSizes {
+            session_bytes: 10e6,  // 10 MB of player state
+            generic_bytes: 2e9,   // 2 GB virtual world
+        };
+        let plan = ReplicationPlan::build(vec![], sizes, 0, 0.0);
+        let links = [Link::new(100e9, 0.003)];
+        let (with, without) = plan.handoff_times_s(&links);
+        // 10 MB at 100 Gbps ≈ 0.8 ms (+3 ms prop) vs 2.01 GB ≈ 161 ms:
+        // the propagation floor keeps the ratio near ~40×.
+        assert!(with < 0.005, "with plan: {with} s");
+        assert!(without > 0.1, "without plan: {without} s");
+        assert!(without / with > 30.0);
+    }
+
+    #[test]
+    fn prefetch_feasibility_depends_on_lead_time() {
+        let iv = vec![
+            ServingInterval { server: SatId(0), from_s: 0.0, until_s: 100.0 },
+            ServingInterval { server: SatId(1), from_s: 100.0, until_s: 250.0 },
+        ];
+        let sizes = StateSizes {
+            session_bytes: 1e6,
+            generic_bytes: 12.5e9, // 100 Gbit → 1 s at 100 Gbps
+        };
+        let links = [Link::new(100e9, 0.003)];
+        let tight = ReplicationPlan::build(iv.clone(), sizes, 1, 0.5);
+        assert!(!tight.prefetches_feasible(&links));
+        let relaxed = ReplicationPlan::build(iv, sizes, 1, 5.0);
+        assert!(relaxed.prefetches_feasible(&links));
+    }
+
+    #[test]
+    fn lead_time_never_schedules_before_time_zero() {
+        let iv = vec![
+            ServingInterval { server: SatId(0), from_s: 0.0, until_s: 30.0 },
+            ServingInterval { server: SatId(1), from_s: 30.0, until_s: 60.0 },
+        ];
+        let plan = ReplicationPlan::build(
+            iv,
+            StateSizes { session_bytes: 1.0, generic_bytes: 1.0 },
+            1,
+            300.0,
+        );
+        assert_eq!(plan.orders[0].start_s, 0.0);
+    }
+}

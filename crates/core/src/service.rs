@@ -1,0 +1,216 @@
+//! The [`InOrbitService`] facade: a constellation operated as a compute
+//! provider.
+
+use leo_constellation::{Constellation, SatId, Snapshot};
+use leo_geo::Geodetic;
+use leo_net::routing::{self, GroundEndpoint};
+use leo_net::visibility::{self, VisibleSat};
+use leo_net::{IslTopology, NetworkGraph};
+
+/// A LEO constellation operated as an in-orbit computing provider: every
+/// satellite hosts a server, reachable directly from the ground or over
+/// inter-satellite links.
+///
+/// ```
+/// use leo_core::InOrbitService;
+/// use leo_constellation::presets::starlink_550_only;
+/// use leo_geo::Geodetic;
+///
+/// let service = InOrbitService::new(starlink_550_only());
+/// let lagos = Geodetic::ground(6.52, 3.38);
+/// let servers = service.reachable_servers(lagos, 0.0);
+/// assert!(!servers.is_empty());
+/// // Every reachable server is within the paper's 16 ms bound:
+/// assert!(servers.iter().all(|s| s.rtt_ms() < 16.5));
+/// ```
+#[derive(Debug, Clone)]
+pub struct InOrbitService {
+    constellation: Constellation,
+    topology: IslTopology,
+}
+
+impl InOrbitService {
+    /// Wraps a constellation, building its +Grid ISL topology.
+    pub fn new(constellation: Constellation) -> Self {
+        let topology = IslTopology::plus_grid(&constellation);
+        InOrbitService {
+            constellation,
+            topology,
+        }
+    }
+
+    /// The underlying constellation.
+    pub fn constellation(&self) -> &Constellation {
+        &self.constellation
+    }
+
+    /// The ISL topology.
+    pub fn topology(&self) -> &IslTopology {
+        &self.topology
+    }
+
+    /// Number of satellite-servers (one per satellite — the paper's
+    /// "if just one server were added to each of its satellites").
+    pub fn num_servers(&self) -> usize {
+        self.constellation.num_satellites()
+    }
+
+    /// Positions at `t` seconds after the epoch.
+    pub fn snapshot(&self, t: f64) -> Snapshot {
+        self.constellation.snapshot(t)
+    }
+
+    /// Satellite-servers directly reachable from a ground point at `t`.
+    pub fn reachable_servers(&self, ground: Geodetic, t: f64) -> Vec<VisibleSat> {
+        let snap = self.snapshot(t);
+        self.reachable_servers_in(&snap, ground)
+    }
+
+    /// Same as [`InOrbitService::reachable_servers`] against a prebuilt
+    /// snapshot (avoids re-propagating when the caller already has one).
+    pub fn reachable_servers_in(&self, snapshot: &Snapshot, ground: Geodetic) -> Vec<VisibleSat> {
+        visibility::visible_sats(
+            &self.constellation,
+            snapshot,
+            ground,
+            ground.to_ecef_spherical(),
+        )
+    }
+
+    /// The full network graph at a snapshot with the given ground
+    /// endpoints attached.
+    pub fn graph(&self, snapshot: &Snapshot, grounds: &[GroundEndpoint]) -> NetworkGraph {
+        routing::build_graph(&self.constellation, &self.topology, snapshot, grounds)
+    }
+
+    /// One-way delays (seconds) from each ground endpoint to every
+    /// satellite at a snapshot: `result[user][sat_id]`, `INFINITY` when
+    /// unreachable. The bulk query behind meetup-server selection.
+    pub fn user_delays(&self, snapshot: &Snapshot, users: &[GroundEndpoint]) -> Vec<Vec<f64>> {
+        let graph = self.graph(snapshot, users);
+        users
+            .iter()
+            .map(|u| routing::delays_to_all_sats(&graph, &self.constellation, u))
+            .collect()
+    }
+
+    /// One-way delay (seconds) between two satellite-servers over the ISL
+    /// mesh at a snapshot, or `None` when disconnected.
+    pub fn server_to_server_delay(&self, snapshot: &Snapshot, a: SatId, b: SatId) -> Option<f64> {
+        if a == b {
+            return Some(0.0);
+        }
+        let graph = self.graph(snapshot, &[]);
+        routing::sat_to_sat(&graph, a, b).map(|p| p.delay_s)
+    }
+
+    /// One-way state-migration delay (seconds) between two servers when
+    /// the session's ground segment may relay: the shortest path over
+    /// ISLs *or* down through any of `grounds` and back up. Successive
+    /// meetup-servers both sit above the same user group, so the
+    /// via-ground bounce often beats winding across the +Grid between an
+    /// ascending and a descending plane.
+    pub fn migration_delay(
+        &self,
+        snapshot: &Snapshot,
+        grounds: &[GroundEndpoint],
+        a: SatId,
+        b: SatId,
+    ) -> Option<f64> {
+        if a == b {
+            return Some(0.0);
+        }
+        let graph = self.graph(snapshot, grounds);
+        routing::sat_to_sat(&graph, a, b).map(|p| p.delay_s)
+    }
+
+    /// Direct (single-hop) one-way delays from each user to every
+    /// satellite: `result[user][sat]` is the slant-range delay when the
+    /// satellite is visible to that user, `INFINITY` otherwise.
+    ///
+    /// This is the paper's gateway-free session model (§3.2: "user
+    /// terminals can communicate directly via satellites without any
+    /// gateway intervention") — and it needs no graph construction, so
+    /// per-tick session costs stay tiny.
+    pub fn user_direct_delays(
+        &self,
+        snapshot: &Snapshot,
+        users: &[GroundEndpoint],
+    ) -> Vec<Vec<f64>> {
+        users
+            .iter()
+            .map(|u| {
+                let mut row = vec![f64::INFINITY; self.constellation.num_satellites()];
+                for v in visibility::visible_sats(&self.constellation, snapshot, u.geodetic, u.ecef)
+                {
+                    row[v.id.0 as usize] = v.delay_s();
+                }
+                row
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_constellation::presets;
+
+    fn service() -> InOrbitService {
+        InOrbitService::new(presets::starlink_550_only())
+    }
+
+    #[test]
+    fn server_count_equals_satellite_count() {
+        let s = service();
+        assert_eq!(s.num_servers(), 1584);
+    }
+
+    #[test]
+    fn reachable_servers_are_nonempty_at_served_latitudes() {
+        let s = service();
+        let vis = s.reachable_servers(Geodetic::ground(20.0, 30.0), 0.0);
+        assert!(!vis.is_empty());
+    }
+
+    #[test]
+    fn user_delays_shape_matches_users_and_servers() {
+        let s = service();
+        let users = [
+            GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)),
+            GroundEndpoint::new(1, Geodetic::ground(3.87, 11.52)),
+        ];
+        let snap = s.snapshot(0.0);
+        let delays = s.user_delays(&snap, &users);
+        assert_eq!(delays.len(), 2);
+        assert_eq!(delays[0].len(), s.num_servers());
+        // Shell is ISL-connected, so every server is reachable.
+        assert!(delays.iter().flatten().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn server_to_server_delay_is_symmetric_and_zero_on_diagonal() {
+        let s = service();
+        let snap = s.snapshot(100.0);
+        assert_eq!(s.server_to_server_delay(&snap, SatId(5), SatId(5)), Some(0.0));
+        let ab = s.server_to_server_delay(&snap, SatId(0), SatId(700)).unwrap();
+        let ba = s.server_to_server_delay(&snap, SatId(700), SatId(0)).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn direct_visibility_gives_single_hop_minimum_delay() {
+        let s = service();
+        let g = Geodetic::ground(0.0, 0.0);
+        let snap = s.snapshot(0.0);
+        let direct = s.reachable_servers_in(&snap, g);
+        let users = [GroundEndpoint::new(0, g)];
+        let delays = &s.user_delays(&snap, &users)[0];
+        for v in direct {
+            // The graph delay to a directly visible satellite equals the
+            // direct slant-range delay (straight line beats any relay).
+            assert!((delays[v.id.0 as usize] - v.delay_s()).abs() < 1e-12);
+        }
+    }
+}

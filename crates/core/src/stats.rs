@@ -1,0 +1,185 @@
+//! Empirical distributions for the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over `f64` samples.
+///
+/// ```
+/// use leo_core::Cdf;
+///
+/// let cdf = Cdf::new(vec![20.0, 164.0, 80.0, 40.0, 320.0]);
+/// assert_eq!(cdf.median(), Some(80.0));
+/// assert_eq!(cdf.fraction_at_or_below(100.0), 0.6);
+/// assert_eq!(cdf.quantile(1.0), Some(320.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    /// Panics when any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        samples.sort_by(f64::total_cmp);
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Empirical CDF value `P(X ≤ x)`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile, `q ∈ [0, 1]`, by nearest-rank; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// Median (0.5 quantile).
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// `(x, P(X ≤ x))` pairs suitable for plotting the CDF curve.
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let cdf = Cdf::new(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(cdf.median(), Some(3.0));
+        assert_eq!(cdf.quantile(0.0), Some(1.0));
+        assert_eq!(cdf.quantile(1.0), Some(5.0));
+        assert_eq!(cdf.quantile(0.2), Some(1.0));
+        assert_eq!(cdf.quantile(0.8), Some(4.0));
+        assert_eq!(cdf.min(), Some(1.0));
+        assert_eq!(cdf.max(), Some(5.0));
+        assert_eq!(cdf.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn fraction_matches_hand_count() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 2.0, 10.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn empty_cdf_behaves() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.median(), None);
+        assert_eq!(cdf.mean(), None);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert!(cdf.curve().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample")]
+    fn nan_samples_are_rejected() {
+        Cdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn curve_ends_at_probability_one() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 2.0]);
+        let curve = cdf.curve();
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve.last().unwrap().1, 1.0);
+        assert_eq!(curve[0], (1.0, 1.0 / 3.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_is_monotone(samples in proptest::collection::vec(-1e6..1e6f64, 1..100)) {
+            let cdf = Cdf::new(samples);
+            let mut prev = 0.0;
+            for x in (-10..=10).map(|i| i as f64 * 1e5) {
+                let f = cdf.fraction_at_or_below(x);
+                prop_assert!(f >= prev);
+                prop_assert!((0.0..=1.0).contains(&f));
+                prev = f;
+            }
+        }
+
+        #[test]
+        fn prop_quantile_is_monotone(samples in proptest::collection::vec(-1e6..1e6f64, 1..100)) {
+            let cdf = Cdf::new(samples);
+            let mut prev = f64::NEG_INFINITY;
+            for i in 0..=10 {
+                let q = cdf.quantile(i as f64 / 10.0).unwrap();
+                prop_assert!(q >= prev);
+                prev = q;
+            }
+        }
+
+        #[test]
+        fn prop_median_is_bracketed(samples in proptest::collection::vec(-1e3..1e3f64, 1..50)) {
+            let cdf = Cdf::new(samples.clone());
+            let m = cdf.median().unwrap();
+            let below = samples.iter().filter(|&&x| x <= m).count();
+            // Nearest-rank median: at least half the samples are ≤ it.
+            prop_assert!(below * 2 >= samples.len());
+        }
+    }
+}

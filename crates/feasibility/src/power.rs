@@ -1,0 +1,155 @@
+//! Power and thermal budgets (§4, "Power").
+//!
+//! > "The HPE server operating at 225 W (350 W) would consume 15 % (23 %)
+//! > of this power. This is quite large (…) Another related problem is
+//! > the increased heat generation. Heat is harder to dissipate without
+//! > an atmosphere, so additional radiators (…) may be necessary."
+//!
+//! The solar/battery model uses the eclipse geometry from
+//! [`leo_geo::sun::eclipse_fraction`]: the array only generates in
+//! sunlight, so sustaining a constant load `P` requires orbit-average
+//! generation `P / (1 − f_eclipse)` plus battery capacity to ride through
+//! the eclipse arc.
+
+use crate::hardware::{SatelliteBus, ServerSpec};
+use leo_geo::sun::eclipse_fraction;
+use leo_geo::Angle;
+use serde::{Deserialize, Serialize};
+
+/// Stefan–Boltzmann constant, W m⁻² K⁻⁴.
+pub const STEFAN_BOLTZMANN: f64 = 5.670_374_419e-8;
+
+/// Power impact of hosting a server on a satellite bus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBudget {
+    /// Server draw as a fraction of the bus's orbit-average solar power,
+    /// at the typical operating point.
+    pub typical_fraction: f64,
+    /// Same at the peak operating point.
+    pub peak_fraction: f64,
+}
+
+impl PowerBudget {
+    /// Computes the §4 power fractions.
+    pub fn compute(server: &ServerSpec, bus: &SatelliteBus) -> Self {
+        PowerBudget {
+            typical_fraction: server.typical_power_w / bus.avg_solar_power_w,
+            peak_fraction: server.peak_power_w / bus.avg_solar_power_w,
+        }
+    }
+}
+
+/// Battery energy (watt-hours) needed to carry a constant load through
+/// the worst-case eclipse at the given altitude (β = 0 maximizes the
+/// eclipse arc).
+pub fn battery_wh_for_load(load_w: f64, altitude_m: f64) -> f64 {
+    let f = eclipse_fraction(altitude_m, Angle::ZERO);
+    // Orbital period from Kepler's third law.
+    let a = leo_geo::consts::EARTH_RADIUS_MEAN_M + altitude_m;
+    let period_s = 2.0 * std::f64::consts::PI
+        * (a.powi(3) / leo_geo::consts::EARTH_MU_M3_S2).sqrt();
+    load_w * (f * period_s) / 3600.0
+}
+
+/// Extra orbit-average generation (watts) the array must supply so that a
+/// constant `load_w` is sustained across sunlight and eclipse, including
+/// battery round-trip losses during the eclipse fraction.
+pub fn generation_w_for_load(load_w: f64, altitude_m: f64, battery_efficiency: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&battery_efficiency) && battery_efficiency > 0.0,
+        "bad efficiency {battery_efficiency}"
+    );
+    let f = eclipse_fraction(altitude_m, Angle::ZERO);
+    // Sunlit fraction powers the load directly; the eclipse share cycles
+    // through the battery at the given efficiency.
+    let direct = load_w * (1.0 - f);
+    let stored = load_w * f / battery_efficiency;
+    (direct + stored) / (1.0 - f)
+}
+
+/// Radiator area (m²) required to reject `heat_w` at radiator temperature
+/// `temp_k` with emissivity `emissivity`, radiating to deep space
+/// (background ≈ 3 K, negligible).
+pub fn radiator_area_m2(heat_w: f64, temp_k: f64, emissivity: f64) -> f64 {
+    assert!(temp_k > 0.0 && (0.0..=1.0).contains(&emissivity) && emissivity > 0.0);
+    heat_w / (emissivity * STEFAN_BOLTZMANN * temp_k.powi(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_power_fractions_hold() {
+        let p = PowerBudget::compute(
+            &ServerSpec::hpe_dl325_gen10(),
+            &SatelliteBus::starlink_v1(),
+        );
+        // Paper: 15 % at 225 W, 23 % at 350 W.
+        assert!((p.typical_fraction - 0.15).abs() < 0.005, "{}", p.typical_fraction);
+        assert!((p.peak_fraction - 0.2333).abs() < 0.005, "{}", p.peak_fraction);
+    }
+
+    #[test]
+    fn battery_for_dl325_at_starlink_altitude_is_reasonable() {
+        // 225 W × ~36 min eclipse ≈ 135 Wh — a few kg of Li-ion cells.
+        let wh = battery_wh_for_load(225.0, 550e3);
+        assert!((100.0..180.0).contains(&wh), "{wh} Wh");
+    }
+
+    #[test]
+    fn generation_requirement_exceeds_the_load() {
+        // 37.5 % eclipse at β=0 → the array must generate ~375 W while
+        // sunlit to carry a constant 225 W load (η = 0.9 battery).
+        let gen = generation_w_for_load(225.0, 550e3, 0.9);
+        assert!(gen > 225.0);
+        assert!((360.0..390.0).contains(&gen), "{gen}");
+    }
+
+    #[test]
+    fn perfect_battery_generation_reduces_to_load_over_sunlit_fraction() {
+        let f = eclipse_fraction(550e3, Angle::ZERO);
+        let gen = generation_w_for_load(100.0, 550e3, 1.0);
+        assert!((gen - 100.0 / (1.0 - f)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radiator_for_350w_is_about_a_square_meter() {
+        // ε = 0.85, T = 300 K: A = 350 / (0.85 · σ · 300⁴) ≈ 0.9 m².
+        let a = radiator_area_m2(350.0, 300.0, 0.85);
+        assert!((0.7..1.2).contains(&a), "{a} m²");
+    }
+
+    #[test]
+    fn hotter_radiators_are_smaller() {
+        let cold = radiator_area_m2(350.0, 280.0, 0.85);
+        let hot = radiator_area_m2(350.0, 330.0, 0.85);
+        assert!(hot < cold);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_generation_scales_linearly_with_load(
+            load in 10.0..1000.0f64,
+            k in 1.1..5.0f64,
+        ) {
+            let g1 = generation_w_for_load(load, 550e3, 0.9);
+            let gk = generation_w_for_load(load * k, 550e3, 0.9);
+            prop_assert!((gk / g1 - k).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_battery_grows_with_altitude_period(
+            alt1 in 300e3..1000e3f64,
+            dalt in 50e3..500e3f64,
+        ) {
+            // Longer period at higher altitude → longer absolute eclipse
+            // (the eclipse *fraction* shrinks but the period grows faster
+            // in this band).
+            let lo = battery_wh_for_load(100.0, alt1);
+            let hi = battery_wh_for_load(100.0, alt1 + dalt);
+            prop_assert!(hi > lo * 0.8, "battery {lo} → {hi}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Radiation environment model: Van Allen geometry and the South
+//! Atlantic Anomaly.
+//!
+//! §4, "Radiation hardening": *"in LEO, especially for orbits below the
+//! inner Van Allen radiation belt (outwards from 643 km), it is likely
+//! that commodity hardware is sufficient, although this is not yet a
+//! fully settled question."* The open part of that question is dose
+//! accumulation: even below the belt, satellites crossing the **South
+//! Atlantic Anomaly** (where the inner belt dips to LEO altitudes) take
+//! orders of magnitude more particle flux. This module estimates the
+//! fraction of orbit time spent inside the SAA and scales a baseline
+//! upset/failure rate accordingly, feeding the reliability model.
+
+use leo_geo::consts::VAN_ALLEN_INNER_ALTITUDE_M;
+use leo_geo::Geodetic;
+use serde::{Deserialize, Serialize};
+
+/// Simple elliptical footprint of the South Atlantic Anomaly at LEO
+/// altitudes (centered near (−26°, −45°), semi-axes ~25° lat × 50° lon —
+/// the standard rough extent at ~500 km).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaaRegion {
+    /// Center latitude, degrees.
+    pub center_lat_deg: f64,
+    /// Center longitude, degrees.
+    pub center_lon_deg: f64,
+    /// Latitude semi-axis, degrees.
+    pub semi_lat_deg: f64,
+    /// Longitude semi-axis, degrees.
+    pub semi_lon_deg: f64,
+}
+
+impl Default for SaaRegion {
+    fn default() -> Self {
+        SaaRegion {
+            center_lat_deg: -26.0,
+            center_lon_deg: -45.0,
+            semi_lat_deg: 25.0,
+            semi_lon_deg: 50.0,
+        }
+    }
+}
+
+impl SaaRegion {
+    /// True when a sub-satellite point lies inside the anomaly.
+    pub fn contains(&self, point: Geodetic) -> bool {
+        let dlat = (point.lat.degrees() - self.center_lat_deg) / self.semi_lat_deg;
+        let mut dlon = point.lon.normalized_signed().degrees() - self.center_lon_deg;
+        if dlon > 180.0 {
+            dlon -= 360.0;
+        } else if dlon < -180.0 {
+            dlon += 360.0;
+        }
+        let dlon = dlon / self.semi_lon_deg;
+        dlat * dlat + dlon * dlon <= 1.0
+    }
+}
+
+/// Fraction of time a satellite spends inside the SAA, by sampling its
+/// ground track over `duration_s` every `step_s`.
+pub fn saa_fraction<F>(mut subpoint_at: F, duration_s: f64, step_s: f64, region: &SaaRegion) -> f64
+where
+    F: FnMut(f64) -> Geodetic,
+{
+    assert!(duration_s > 0.0 && step_s > 0.0);
+    let steps = (duration_s / step_s).ceil() as usize;
+    let mut inside = 0usize;
+    for i in 0..=steps {
+        if region.contains(subpoint_at(i as f64 * step_s)) {
+            inside += 1;
+        }
+    }
+    inside as f64 / (steps + 1) as f64
+}
+
+/// Radiation exposure model: a baseline upset/failure rate, multiplied
+/// inside the SAA, and scaled up sharply above the inner belt boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadiationModel {
+    /// Baseline annual server failure rate from radiation, below the
+    /// belt, outside the SAA.
+    pub base_afr: f64,
+    /// Flux multiplier inside the SAA (literature: 10–100× for soft
+    /// errors at LEO; we default to 30×).
+    pub saa_multiplier: f64,
+    /// Multiplier for orbits above the inner-belt boundary.
+    pub belt_multiplier: f64,
+}
+
+impl Default for RadiationModel {
+    fn default() -> Self {
+        RadiationModel {
+            base_afr: 0.02,
+            saa_multiplier: 30.0,
+            belt_multiplier: 8.0,
+        }
+    }
+}
+
+impl RadiationModel {
+    /// Effective annual radiation-induced failure rate for a satellite
+    /// at `altitude_m` spending `saa_time_fraction` of its orbit in the
+    /// anomaly.
+    pub fn effective_afr(&self, altitude_m: f64, saa_time_fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&saa_time_fraction));
+        let belt = if altitude_m >= VAN_ALLEN_INNER_ALTITUDE_M {
+            self.belt_multiplier
+        } else {
+            1.0
+        };
+        let saa_weighted =
+            1.0 + saa_time_fraction * (self.saa_multiplier - 1.0);
+        self.base_afr * belt * saa_weighted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_geo::{Angle, Epoch};
+    use leo_orbit::{KeplerianElements, Propagator};
+
+    #[test]
+    fn saa_contains_its_center_and_not_the_antipode() {
+        let saa = SaaRegion::default();
+        assert!(saa.contains(Geodetic::ground(-26.0, -45.0)));
+        assert!(!saa.contains(Geodetic::ground(26.0, 135.0)));
+        assert!(!saa.contains(Geodetic::ground(50.0, -45.0)));
+    }
+
+    #[test]
+    fn saa_handles_longitude_wraparound() {
+        let saa = SaaRegion {
+            center_lon_deg: 170.0,
+            ..SaaRegion::default()
+        };
+        assert!(saa.contains(Geodetic::ground(-26.0, -175.0)));
+    }
+
+    #[test]
+    fn starlink_orbit_crosses_the_saa_a_few_percent_of_the_time() {
+        // A 53°-inclined LEO orbit passes through the SAA ellipse on some
+        // of its ground tracks: expect a small but nonzero fraction.
+        let e = KeplerianElements::circular(
+            550e3,
+            Angle::from_degrees(53.0),
+            Angle::ZERO,
+            Angle::ZERO,
+        );
+        let p = Propagator::new(e, Epoch::J2000);
+        let f = saa_fraction(
+            |t| p.subpoint(t),
+            86_400.0,
+            30.0,
+            &SaaRegion::default(),
+        );
+        assert!((0.01..0.20).contains(&f), "SAA fraction {f}");
+    }
+
+    #[test]
+    fn equatorial_high_inclination_contrast() {
+        // A polar orbit spends less relative time in the low-latitude SAA
+        // than an orbit whose inclination matches the SAA's latitude band.
+        let run = |incl: f64| {
+            let e = KeplerianElements::circular(
+                550e3,
+                Angle::from_degrees(incl),
+                Angle::ZERO,
+                Angle::ZERO,
+            );
+            let p = Propagator::new(e, Epoch::J2000);
+            saa_fraction(|t| p.subpoint(t), 86_400.0, 30.0, &SaaRegion::default())
+        };
+        let matched = run(26.0);
+        let polar = run(90.0);
+        assert!(matched > polar, "matched {matched} vs polar {polar}");
+    }
+
+    #[test]
+    fn effective_afr_scales_with_saa_time_and_altitude() {
+        let m = RadiationModel::default();
+        let clean = m.effective_afr(550e3, 0.0);
+        let saa = m.effective_afr(550e3, 0.05);
+        let belt = m.effective_afr(1130e3, 0.05);
+        assert_eq!(clean, m.base_afr);
+        assert!(saa > clean);
+        assert!(belt > saa);
+        // 5 % SAA time at 30× ≈ 2.45× the base rate.
+        assert!((saa / clean - 2.45).abs() < 0.01);
+    }
+
+    #[test]
+    fn radiation_feeds_the_reliability_model_sensibly() {
+        // Plug the effective AFR into the fleet survival closed form:
+        // below-belt satellites keep most servers, above-belt shells
+        // visibly fewer — the quantitative version of §4's "not yet a
+        // fully settled question".
+        use crate::reliability::ReliabilityParams;
+        let m = RadiationModel::default();
+        let below = ReliabilityParams {
+            annual_failure_rate: m.effective_afr(550e3, 0.04),
+            satellite_life_years: 5.0,
+        }
+        .steady_state_working_fraction();
+        let above = ReliabilityParams {
+            annual_failure_rate: m.effective_afr(1275e3, 0.04),
+            satellite_life_years: 5.0,
+        }
+        .steady_state_working_fraction();
+        assert!(below > 0.85, "below-belt fraction {below}");
+        assert!(above < below, "above {above} vs below {below}");
+    }
+}

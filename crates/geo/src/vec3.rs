@@ -1,0 +1,266 @@
+//! A minimal 3-component vector of `f64`.
+//!
+//! Every coordinate frame in the workspace ([`crate::coords`]) wraps this
+//! type, so it carries the full set of linear-algebra operations the
+//! simulator needs and nothing more.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-vector with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along x.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance to another vector.
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// Returns [`Vec3::ZERO`] for the zero vector rather than NaN, which is
+    /// the convenient convention for shadow/visibility tests.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n == 0.0 {
+            Vec3::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Angle between two vectors, radians, in `[0, π]`.
+    pub fn angle_to(self, other: Vec3) -> f64 {
+        // atan2 of the cross/dot is numerically stable near 0 and π,
+        // unlike acos of the normalized dot product.
+        let cross = self.cross(other).norm();
+        let dot = self.dot(other);
+        cross.atan2(dot)
+    }
+
+    /// Component-wise linear interpolation: `self + t * (other - self)`.
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Rotates the vector about the +z axis by `angle` radians
+    /// (counter-clockwise looking down +z).
+    pub fn rotate_z(self, angle: f64) -> Vec3 {
+        let (s, c) = angle.sin_cos();
+        Vec3 {
+            x: c * self.x - s * self.y,
+            y: s * self.x + c * self.y,
+            z: self.z,
+        }
+    }
+
+    /// Rotates the vector about the +x axis by `angle` radians.
+    pub fn rotate_x(self, angle: f64) -> Vec3 {
+        let (s, c) = angle.sin_cos();
+        Vec3 {
+            x: self.x,
+            y: c * self.y - s * self.z,
+            z: s * self.y + c * self.z,
+        }
+    }
+
+    /// True if all components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, k: f64) -> Vec3 {
+        Vec3::new(self.x / k, self.y / k, self.z / k)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn dot_and_cross_of_basis_vectors() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        assert_eq!(Vec3::new(3.0, 4.0, 0.0).norm(), 5.0);
+    }
+
+    #[test]
+    fn normalized_zero_is_zero() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn angle_between_orthogonal_vectors_is_right() {
+        let a = Vec3::X.angle_to(Vec3::Y);
+        assert!((a - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_between_antiparallel_vectors_is_pi() {
+        let a = Vec3::X.angle_to(-Vec3::X);
+        assert!((a - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotate_z_quarter_turn_maps_x_to_y() {
+        let v = Vec3::X.rotate_z(FRAC_PI_2);
+        assert!(v.distance(Vec3::Y) < 1e-12);
+    }
+
+    #[test]
+    fn rotate_x_quarter_turn_maps_y_to_z() {
+        let v = Vec3::Y.rotate_x(FRAC_PI_2);
+        assert!(v.distance(Vec3::Z) < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(3.0, 6.0, 9.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(2.0, 4.0, 6.0));
+    }
+
+    fn arb_vec3() -> impl Strategy<Value = Vec3> {
+        let c = -1e7..1e7f64;
+        (c.clone(), c.clone(), c).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    }
+
+    proptest! {
+        #[test]
+        fn cross_is_orthogonal_to_operands(a in arb_vec3(), b in arb_vec3()) {
+            let c = a.cross(b);
+            let scale = (a.norm() * b.norm()).max(1.0);
+            prop_assert!(c.dot(a).abs() / (scale * scale.max(c.norm())) < 1e-9);
+        }
+
+        #[test]
+        fn normalization_yields_unit_norm(a in arb_vec3()) {
+            prop_assume!(a.norm() > 1e-3);
+            prop_assert!((a.normalized().norm() - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn rotation_preserves_norm(a in arb_vec3(), ang in -10.0..10.0f64) {
+            prop_assert!((a.rotate_z(ang).norm() - a.norm()).abs() < 1e-6 * a.norm().max(1.0));
+            prop_assert!((a.rotate_x(ang).norm() - a.norm()).abs() < 1e-6 * a.norm().max(1.0));
+        }
+
+        #[test]
+        fn triangle_inequality(a in arb_vec3(), b in arb_vec3()) {
+            prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-6);
+        }
+
+        #[test]
+        fn angle_is_symmetric(a in arb_vec3(), b in arb_vec3()) {
+            prop_assume!(a.norm() > 1.0 && b.norm() > 1.0);
+            prop_assert!((a.angle_to(b) - b.angle_to(a)).abs() < 1e-12);
+        }
+    }
+}

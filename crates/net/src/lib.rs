@@ -1,0 +1,42 @@
+//! # leo-net
+//!
+//! The LEO network substrate: everything between orbital mechanics and the
+//! in-orbit compute service layer.
+//!
+//! * [`visibility`] — which satellites a ground point can reach at an
+//!   instant, under each shell's minimum-elevation rule, with slant ranges
+//!   and RTTs ([`visibility::VisibleSat`]).
+//! * [`isl`] — the +Grid inter-satellite-link topology (intra-plane ring +
+//!   nearest neighbor in each adjacent plane) with an Earth-occlusion
+//!   check, plus link lengths at any time.
+//! * [`graph`] — a propagation-delay-weighted network graph over
+//!   satellites and ground endpoints with Dijkstra shortest paths.
+//! * [`routing`] — end-to-end helpers: ground–ground RTT through the
+//!   constellation, ground–satellite–ground meetup paths, and
+//!   satellite–satellite transfer paths.
+//! * [`des`] — a discrete-event simulator (event queue, links with rate +
+//!   propagation delay, store-and-forward message transfer) used to time
+//!   state migration in `leo-core` and the Earth-observation pipeline in
+//!   `leo-apps`.
+//! * [`packet`] — packet-level simulation (FIFO queues, drop-tail,
+//!   competing flows) for the §3.3 downlink-contention footnote.
+//! * [`handover`] — single-ground-station pass prediction and hand-over
+//!   schedules for the plain network service (§2).
+//! * [`weather`] — rain-fade link budgets and availability (§6's
+//!   unanalyzed weather question).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod des;
+pub mod graph;
+pub mod handover;
+pub mod isl;
+pub mod packet;
+pub mod routing;
+pub mod visibility;
+pub mod weather;
+
+pub use graph::{NetworkGraph, NodeId, Path};
+pub use isl::IslTopology;
+pub use visibility::{visible_sats, VisibleSat};

@@ -1,0 +1,437 @@
+//! Packet-level discrete-event simulation with finite buffers.
+//!
+//! The flow-level simulator ([`crate::des`]) times bulk transfers; this
+//! module resolves *contention* at packet granularity: FIFO queues with
+//! finite buffers (drop-tail), per-packet serialization and propagation,
+//! and competing flows. It exists for the paper's footnote 1 (§3.3):
+//!
+//! > "While the planned networks may provide on the order of 10 Gbps
+//! > up/down links, given their primary objective of providing network
+//! > connectivity, using a substantial fraction of this bandwidth for
+//! > sensing data may require compromising one or the other function."
+//!
+//! The `downlink_contention` example and the `des` bench quantify that
+//! compromise: what happens to user traffic when Earth-observation
+//! downloads share the downlink.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Identifier of a directed packet link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PLinkId(pub usize);
+
+/// Identifier of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub usize);
+
+/// A directed link with a finite drop-tail queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketLink {
+    /// Rate, bits per second.
+    pub rate_bps: f64,
+    /// Propagation delay, seconds.
+    pub prop_delay_s: f64,
+    /// Queue capacity in packets (excluding the one in service).
+    pub queue_packets: usize,
+}
+
+impl PacketLink {
+    /// Creates a link.
+    ///
+    /// # Panics
+    /// Panics on non-positive rate or negative delay.
+    pub fn new(rate_bps: f64, prop_delay_s: f64, queue_packets: usize) -> Self {
+        assert!(rate_bps > 0.0 && prop_delay_s >= 0.0);
+        PacketLink {
+            rate_bps,
+            prop_delay_s,
+            queue_packets,
+        }
+    }
+}
+
+/// A constant-bit-rate flow over a fixed route.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Route as a sequence of links.
+    pub route: Vec<PLinkId>,
+    /// Packet size, bits.
+    pub packet_bits: f64,
+    /// Packet inter-arrival time, seconds.
+    pub interval_s: f64,
+    /// First packet time, seconds.
+    pub start_s: f64,
+    /// Number of packets to emit.
+    pub packets: usize,
+}
+
+impl Flow {
+    /// Offered rate of the flow, bits per second.
+    pub fn offered_bps(&self) -> f64 {
+        self.packet_bits / self.interval_s
+    }
+}
+
+/// Per-flow delivery statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowStats {
+    /// Packets delivered end-to-end.
+    pub delivered: usize,
+    /// Packets dropped at a full queue.
+    pub dropped: usize,
+    /// End-to-end latencies of delivered packets, seconds.
+    pub latencies_s: Vec<f64>,
+}
+
+impl FlowStats {
+    /// Fraction of emitted packets delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = self.delivered + self.dropped;
+        if total == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / total as f64
+        }
+    }
+
+    /// Mean end-to-end latency of delivered packets, seconds.
+    pub fn mean_latency_s(&self) -> Option<f64> {
+        if self.latencies_s.is_empty() {
+            None
+        } else {
+            Some(self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Packet {
+    flow: usize,
+    emitted_s: f64,
+    hop: usize,
+}
+
+#[derive(Debug, PartialEq)]
+enum EventKind {
+    /// A packet arrives at the tail of a link's queue.
+    Enqueue { link: usize, packet: Packet },
+    /// A link finishes serializing its head packet.
+    TxDone { link: usize },
+}
+
+#[derive(Debug, PartialEq)]
+struct Event {
+    time_s: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, o: &Self) -> Ordering {
+        o.time_s
+            .total_cmp(&self.time_s)
+            .then_with(|| o.seq.cmp(&self.seq))
+    }
+}
+
+/// The packet-level simulator.
+#[derive(Debug, Default)]
+pub struct PacketNetwork {
+    links: Vec<PacketLink>,
+    flows: Vec<Flow>,
+}
+
+impl PacketNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a link.
+    pub fn add_link(&mut self, link: PacketLink) -> PLinkId {
+        self.links.push(link);
+        PLinkId(self.links.len() - 1)
+    }
+
+    /// Adds a flow.
+    ///
+    /// # Panics
+    /// Panics on an empty route, unknown links, or non-positive timing.
+    pub fn add_flow(&mut self, flow: Flow) -> FlowId {
+        assert!(!flow.route.is_empty(), "empty route");
+        assert!(flow.route.iter().all(|l| l.0 < self.links.len()));
+        assert!(flow.packet_bits > 0.0 && flow.interval_s > 0.0);
+        self.flows.push(flow);
+        FlowId(self.flows.len() - 1)
+    }
+
+    /// Runs to completion, returning per-flow statistics indexed by
+    /// [`FlowId`].
+    pub fn run(&mut self) -> Vec<FlowStats> {
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut push = |heap: &mut BinaryHeap<Event>, time_s: f64, kind: EventKind| {
+            heap.push(Event { time_s, seq, kind });
+            seq += 1;
+        };
+
+        // Emit all packets as enqueue events on each flow's first link.
+        for (fi, flow) in self.flows.iter().enumerate() {
+            for k in 0..flow.packets {
+                let t = flow.start_s + k as f64 * flow.interval_s;
+                push(
+                    &mut heap,
+                    t,
+                    EventKind::Enqueue {
+                        link: flow.route[0].0,
+                        packet: Packet {
+                            flow: fi,
+                            emitted_s: t,
+                            hop: 0,
+                        },
+                    },
+                );
+            }
+        }
+
+        let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); self.links.len()];
+        let mut busy: Vec<Option<Packet>> = vec![None; self.links.len()];
+        let mut stats: Vec<FlowStats> = vec![FlowStats::default(); self.flows.len()];
+
+        while let Some(Event { time_s, kind, .. }) = heap.pop() {
+            match kind {
+                EventKind::Enqueue { link, packet } => {
+                    let l = self.links[link];
+                    if busy[link].is_none() {
+                        // Start serving immediately.
+                        busy[link] = Some(packet);
+                        let tx = self.flows[packet.flow].packet_bits / l.rate_bps;
+                        push(&mut heap, time_s + tx, EventKind::TxDone { link });
+                    } else if queues[link].len() < l.queue_packets {
+                        queues[link].push_back(packet);
+                    } else {
+                        stats[packet.flow].dropped += 1;
+                    }
+                }
+                EventKind::TxDone { link } => {
+                    let packet = busy[link].take().expect("link was serving");
+                    let l = self.links[link];
+                    let arrival = time_s + l.prop_delay_s;
+                    let flow = &self.flows[packet.flow];
+                    if packet.hop + 1 < flow.route.len() {
+                        push(
+                            &mut heap,
+                            arrival,
+                            EventKind::Enqueue {
+                                link: flow.route[packet.hop + 1].0,
+                                packet: Packet {
+                                    hop: packet.hop + 1,
+                                    ..packet
+                                },
+                            },
+                        );
+                    } else {
+                        stats[packet.flow].delivered += 1;
+                        stats[packet.flow]
+                            .latencies_s
+                            .push(arrival - packet.emitted_s);
+                    }
+                    // Serve the next queued packet.
+                    if let Some(next) = queues[link].pop_front() {
+                        busy[link] = Some(next);
+                        let tx = self.flows[next.flow].packet_bits / l.rate_bps;
+                        push(&mut heap, time_s + tx, EventKind::TxDone { link });
+                    }
+                }
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn cbr(route: Vec<PLinkId>, rate_bps: f64, packet_bits: f64, packets: usize) -> Flow {
+        Flow {
+            route,
+            packet_bits,
+            interval_s: packet_bits / rate_bps,
+            start_s: 0.0,
+            packets,
+        }
+    }
+
+    #[test]
+    fn lone_flow_below_capacity_delivers_everything() {
+        let mut net = PacketNetwork::new();
+        let l = net.add_link(PacketLink::new(1e9, 0.002, 16));
+        let f = net.add_flow(cbr(vec![l], 0.5e9, 1e4, 100));
+        let stats = &net.run()[f.0];
+        assert_eq!(stats.delivered, 100);
+        assert_eq!(stats.dropped, 0);
+        // Latency = serialization + propagation for every packet.
+        let expect = 1e4 / 1e9 + 0.002;
+        for &lat in &stats.latencies_s {
+            assert!((lat - expect).abs() < 1e-12, "{lat}");
+        }
+    }
+
+    #[test]
+    fn overload_drops_the_excess() {
+        let mut net = PacketNetwork::new();
+        let l = net.add_link(PacketLink::new(1e6, 0.0, 4));
+        // Offered 2 Mbps into a 1 Mbps link: ~half must drop once the
+        // queue fills.
+        let f = net.add_flow(cbr(vec![l], 2e6, 1e4, 500));
+        let stats = &net.run()[f.0];
+        assert!(stats.dropped > 150, "dropped {}", stats.dropped);
+        assert_eq!(stats.delivered + stats.dropped, 500);
+        let ratio = stats.delivery_ratio();
+        assert!((0.4..0.7).contains(&ratio), "delivery {ratio}");
+    }
+
+    #[test]
+    fn queueing_latency_grows_with_load() {
+        let run_at = |offered: f64| {
+            let mut net = PacketNetwork::new();
+            let l = net.add_link(PacketLink::new(1e9, 0.001, 64));
+            let f = net.add_flow(cbr(vec![l], offered, 1e4, 1000));
+            net.run()[f.0].mean_latency_s().unwrap()
+        };
+        let light = run_at(0.3e9);
+        let heavy = run_at(0.99e9);
+        assert!(heavy >= light, "heavy {heavy} vs light {light}");
+    }
+
+    #[test]
+    fn two_flows_share_a_link_fairly_at_equal_rates() {
+        let mut net = PacketNetwork::new();
+        let l = net.add_link(PacketLink::new(1e9, 0.0, 1024));
+        let a = net.add_flow(cbr(vec![l], 0.4e9, 1e4, 400));
+        let b = net.add_flow(cbr(vec![l], 0.4e9, 1e4, 400));
+        let stats = net.run();
+        assert_eq!(stats[a.0].delivered, 400);
+        assert_eq!(stats[b.0].delivered, 400);
+    }
+
+    #[test]
+    fn bulk_flow_inflates_interactive_queueing_on_a_shared_downlink() {
+        // The §3.3 footnote scenario: EO bulk download + user traffic on
+        // one 10 Gbps downlink. Compare *queueing* delay (latency above
+        // the serialization+propagation floor).
+        let floor = 1.2e4 / 10e9 + 0.002;
+        let queueing = |with_bulk: bool| {
+            let mut net = PacketNetwork::new();
+            let l = net.add_link(PacketLink::new(10e9, 0.002, 256));
+            let f = net.add_flow(cbr(vec![l], 0.1e9, 1.2e4, 500));
+            if with_bulk {
+                // EO bulk slightly oversubscribing the link.
+                net.add_flow(cbr(vec![l], 9.98e9, 1.2e5, 20_000));
+            }
+            net.run()[f.0].mean_latency_s().unwrap() - floor
+        };
+        let alone = queueing(false);
+        let shared = queueing(true);
+        assert!(alone < 1e-9, "uncontended queueing {alone}");
+        assert!(
+            shared > 1e-6,
+            "bulk sharing should add microseconds-scale queueing, got {shared}"
+        );
+        assert!(shared > alone * 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn multi_hop_packets_traverse_every_link() {
+        let mut net = PacketNetwork::new();
+        let l1 = net.add_link(PacketLink::new(1e9, 0.001, 8));
+        let l2 = net.add_link(PacketLink::new(1e9, 0.003, 8));
+        let f = net.add_flow(cbr(vec![l1, l2], 0.1e9, 1e4, 10));
+        let stats = &net.run()[f.0];
+        assert_eq!(stats.delivered, 10);
+        let expect = 2.0 * (1e4 / 1e9) + 0.001 + 0.003;
+        assert!((stats.latencies_s[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_queue_link_is_pure_blocking() {
+        let mut net = PacketNetwork::new();
+        let l = net.add_link(PacketLink::new(1e6, 0.0, 0));
+        // Two packets arrive back-to-back; the second finds the server
+        // busy and no queue → dropped.
+        let f = net.add_flow(Flow {
+            route: vec![l],
+            packet_bits: 1e6,
+            interval_s: 0.5,
+            start_s: 0.0,
+            packets: 2,
+        });
+        let stats = &net.run()[f.0];
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty route")]
+    fn empty_flow_routes_are_rejected() {
+        let mut net = PacketNetwork::new();
+        net.add_flow(Flow {
+            route: vec![],
+            packet_bits: 1.0,
+            interval_s: 1.0,
+            start_s: 0.0,
+            packets: 1,
+        });
+    }
+
+    proptest! {
+        /// Conservation: every emitted packet is either delivered or
+        /// dropped, never both, never lost.
+        #[test]
+        fn prop_packet_conservation(
+            n1 in 1usize..200,
+            n2 in 1usize..200,
+            rate in 1e6..1e9f64,
+            queue in 0usize..64,
+        ) {
+            let mut net = PacketNetwork::new();
+            let l = net.add_link(PacketLink::new(rate, 0.001, queue));
+            let a = net.add_flow(cbr(vec![l], rate * 0.8, 1e4, n1));
+            let b = net.add_flow(cbr(vec![l], rate * 0.8, 1e4, n2));
+            let stats = net.run();
+            prop_assert_eq!(stats[a.0].delivered + stats[a.0].dropped, n1);
+            prop_assert_eq!(stats[b.0].delivered + stats[b.0].dropped, n2);
+            prop_assert_eq!(stats[a.0].latencies_s.len(), stats[a.0].delivered);
+        }
+
+        /// Latency is bounded below by serialization + propagation and
+        /// above by the full-queue worst case.
+        #[test]
+        fn prop_latency_bounds(
+            load in 0.1..1.5f64,
+            queue in 1usize..32,
+        ) {
+            let rate = 1e8;
+            let bits = 1e4;
+            let mut net = PacketNetwork::new();
+            let l = net.add_link(PacketLink::new(rate, 0.002, queue));
+            let f = net.add_flow(cbr(vec![l], rate * load, bits, 200));
+            let stats = &net.run()[f.0];
+            let floor = bits / rate + 0.002;
+            let ceiling = floor + (queue as f64 + 1.0) * bits / rate;
+            for &lat in &stats.latencies_s {
+                prop_assert!(lat >= floor - 1e-12);
+                prop_assert!(lat <= ceiling + 1e-9);
+            }
+        }
+    }
+}

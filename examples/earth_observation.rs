@@ -1,0 +1,56 @@
+//! Space-native data processing (§3.3): idle "invisible" satellites and
+//! the sensing-vs-downlink pipeline.
+//!
+//! Run with: `cargo run --release --example earth_observation`
+
+use in_orbit::apps::spacenative::{
+    cooperative_makespan_s, invisible_count, SensingPipeline,
+};
+use in_orbit::cities::WorldCities;
+use in_orbit::prelude::*;
+
+fn main() {
+    let service = InOrbitService::new(starlink_phase1());
+    let cities = WorldCities::load_at_least(1000);
+
+    // How much of the constellation is idle (invisible from population
+    // centers) right now?
+    println!("invisible satellites ({}):", service.constellation().name());
+    for n in [100, 500, 1000] {
+        let r = invisible_count(&service, &cities.top_n_geodetic(n), 0.0);
+        println!(
+            "  ground stations at top {n:>4} cities: {:>4} of {} satellites invisible ({:.0} %)",
+            r.invisible,
+            r.total_sats,
+            r.fraction() * 100.0
+        );
+    }
+
+    // The sensing pipeline: an imaging satellite producing 8 Gbps with a
+    // 2 Gbps downlink share.
+    println!("\nsensing pipeline (8 Gbps sensor, 2 Gbps downlink share):");
+    println!(
+        "  {:>22} {:>12} {:>16}",
+        "reduction factor", "duty cycle", "daily sensed data"
+    );
+    for k in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        let p = SensingPipeline {
+            sensor_rate_bps: 8e9,
+            downlink_rate_bps: 2e9,
+            reduction_factor: k,
+        };
+        println!(
+            "  {:>20}×  {:>10.0} % {:>13.1} Tbit",
+            k,
+            p.sensing_duty_cycle() * 100.0,
+            p.daily_sensed_bits() / 1e12
+        );
+    }
+
+    // Cooperative processing across idle neighbors.
+    println!("\ncooperative processing of a 1 Tbit backlog (10 Gbps compute/sat, 100 Gbps ISLs):");
+    for helpers in [0usize, 1, 3, 9] {
+        let t = cooperative_makespan_s(1e12, 1e10, 1e11, helpers);
+        println!("  {helpers:>2} helper satellites: {t:>6.1} s");
+    }
+}

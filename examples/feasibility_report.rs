@@ -1,0 +1,71 @@
+//! The §4 feasibility analysis as a report: weight, volume, power,
+//! thermal, life-cycle, and cost of adding a commodity server to a
+//! Starlink-class satellite.
+//!
+//! Run with: `cargo run --release --example feasibility_report`
+
+use in_orbit::feasibility::cost::CostModel;
+use in_orbit::feasibility::power::{
+    battery_wh_for_load, generation_w_for_load, radiator_area_m2,
+};
+use in_orbit::feasibility::reliability::ReliabilityParams;
+use in_orbit::feasibility::{MassBudget, PowerBudget, SatelliteBus, ServerSpec};
+
+fn main() {
+    let server = ServerSpec::hpe_dl325_gen10();
+    let bus = SatelliteBus::starlink_v1();
+
+    println!("server : {} ({} cores, {:.1} kg)", server.name, server.cores, server.mass_kg);
+    println!("bus    : {} ({:.0} kg, {:.1} kW avg solar)\n", bus.name, bus.mass_kg, bus.avg_solar_power_w / 1e3);
+
+    let mass = MassBudget::compute(&server, &bus);
+    println!("mass/volume:");
+    println!("  weight fraction : {:.1} %  (paper: 6 %)", mass.mass_fraction * 100.0);
+    println!("  volume fraction : {:.1} %  (paper: 1 %)", mass.volume_fraction * 100.0);
+    let (without, with) = MassBudget::satellites_per_launch(&server, &bus, 15_600.0);
+    println!("  per-launch      : {without} satellites bare, {with} with servers\n");
+
+    let power = PowerBudget::compute(&server, &bus);
+    println!("power:");
+    println!(
+        "  draw fraction   : {:.0} % typical / {:.0} % peak  (paper: 15 % / 23 %)",
+        power.typical_fraction * 100.0,
+        power.peak_fraction * 100.0
+    );
+    println!(
+        "  array for 225 W : {:.0} W sunlit generation (η=0.9 battery)",
+        generation_w_for_load(server.typical_power_w, bus.altitude_m, 0.9)
+    );
+    println!(
+        "  battery ride    : {:.0} Wh through worst-case eclipse",
+        battery_wh_for_load(server.typical_power_w, bus.altitude_m)
+    );
+    println!(
+        "  radiator        : {:.2} m² at 300 K, ε=0.85 for the 350 W peak\n",
+        radiator_area_m2(server.peak_power_w, 300.0, 0.85)
+    );
+
+    println!("life-cycle (5-year satellites, no in-orbit repair):");
+    for afr in [0.05, 0.10, 0.20] {
+        let r = ReliabilityParams {
+            annual_failure_rate: afr,
+            satellite_life_years: bus.design_life_years,
+        };
+        println!(
+            "  {:>4.0} %/yr server AFR: {:>5.1} % of fleet has a working server ({:.0} of 4,409)",
+            afr * 100.0,
+            r.steady_state_working_fraction() * 100.0,
+            r.working_servers(4409)
+        );
+    }
+
+    let cost = CostModel::default().compare(&server);
+    println!("\ncost:");
+    println!("  launch cost       : {:>10.0} USD (paper: ~42,000)", cost.launch_cost_usd);
+    println!("  terrestrial 3y TCO: {:>10.0} USD", cost.terrestrial_cost_usd);
+    println!("  ratio             : {:>10.1} ×  (paper: ~3×)", cost.cost_ratio);
+    println!(
+        "  fleet (4,409 sats): {:>10.1} M USD",
+        CostModel::default().fleet_launch_cost_usd(&server, 4409) / 1e6
+    );
+}

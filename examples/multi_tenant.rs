@@ -1,0 +1,65 @@
+//! Multi-tenant orchestration: many meetup groups competing for finite
+//! per-satellite compute (§3.1's capacity question applied to §3.2's
+//! sessions).
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use in_orbit::core::orchestrator::{orchestrate, GroupSpec, OrchestratorConfig};
+use in_orbit::prelude::*;
+
+fn group(name: &str, lat: f64, lon: f64, slots: u32) -> GroupSpec {
+    GroupSpec {
+        name: name.to_string(),
+        users: vec![
+            GroundEndpoint::new(0, Geodetic::ground(lat, lon)),
+            GroundEndpoint::new(1, Geodetic::ground(lat - 1.5, lon + 2.0)),
+            GroundEndpoint::new(2, Geodetic::ground(lat + 1.0, lon - 1.5)),
+        ],
+        slots,
+    }
+}
+
+fn main() {
+    let service = InOrbitService::new(starlink_550_only());
+    // Eight gaming groups clustered around the Gulf of Guinea — the
+    // worst case for capacity: they all want the same satellites.
+    let groups: Vec<GroupSpec> = (0..8)
+        .map(|i| {
+            group(
+                &format!("group-{i}"),
+                5.0 + (i % 4) as f64 * 1.5,
+                3.0 + (i / 4) as f64 * 3.0,
+                8,
+            )
+        })
+        .collect();
+
+    println!("8 groups × 8 slots on the 550 km shell, 20-minute run:\n");
+    for slots_per_server in [64, 16, 8] {
+        let config = OrchestratorConfig {
+            slots_per_server,
+            start_s: 0.0,
+            duration_s: 1200.0,
+            tick_s: 20.0,
+        };
+        let result = orchestrate(&service, &groups, &config);
+        println!(
+            "server capacity {slots_per_server:>3} slots: service ratio {:>5.1} %, peak {:>3} slots in use",
+            result.service_ratio() * 100.0,
+            result.peak_slots_in_use
+        );
+        for g in result.groups.iter().take(3) {
+            println!(
+                "    {}: {:>2} hand-offs, mean RTT {:>5.2} ms, blocked {} ticks",
+                g.name, g.handoffs, g.mean_rtt_ms, g.blocked_ticks
+            );
+        }
+        println!("    …");
+    }
+
+    println!(
+        "\nWith one DL325-class server per satellite (≈64 tenant slots),\n\
+         even colocated groups never block; scarcity only bites when a\n\
+         satellite hosts a single small board shared eight ways."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: stand up Starlink Phase I as an in-orbit compute provider
+//! and look around from a few cities.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use in_orbit::prelude::*;
+
+fn main() {
+    // Build the full Starlink Phase I constellation (4,409 satellites in
+    // five shells, per the 2019 FCC modification) and operate it as a
+    // compute provider: one server per satellite, +Grid laser ISLs.
+    let service = InOrbitService::new(starlink_phase1());
+    println!(
+        "constellation: {} ({} satellite-servers)\n",
+        service.constellation().name(),
+        service.num_servers()
+    );
+
+    // What does the edge look like from different places on Earth?
+    let places = [
+        ("Lagos, Nigeria", 6.52, 3.38),
+        ("Zurich, Switzerland", 47.38, 8.54),
+        ("South Pacific (mid-ocean)", -30.0, -130.0),
+        ("Longyearbyen, Svalbard", 78.22, 15.65),
+    ];
+    println!("{:<28} {:>8} {:>12} {:>12}", "location", "servers", "nearest RTT", "farthest RTT");
+    for (name, lat, lon) in places {
+        let servers = service.reachable_servers(Geodetic::ground(lat, lon), 0.0);
+        if servers.is_empty() {
+            println!("{name:<28} {:>8} {:>12} {:>12}", 0, "-", "-");
+            continue;
+        }
+        let nearest = servers.iter().map(|v| v.rtt_ms()).fold(f64::INFINITY, f64::min);
+        let farthest = servers.iter().map(|v| v.rtt_ms()).fold(0.0, f64::max);
+        println!(
+            "{name:<28} {:>8} {:>9.2} ms {:>9.2} ms",
+            servers.len(),
+            nearest,
+            farthest
+        );
+    }
+
+    // A two-user group and its latency-optimal meetup server.
+    println!("\nmeetup: Lagos + Nairobi");
+    let users = vec![
+        GroundEndpoint::new(0, Geodetic::ground(6.52, 3.38)),
+        GroundEndpoint::new(1, Geodetic::ground(-1.29, 36.82)),
+    ];
+    let delays = GroupDelays::compute(&service, &users, 0.0);
+    let (server, delay) = delays.minmax().expect("group served");
+    println!(
+        "  best in-orbit meetup server: {server} at {:.2} ms group RTT",
+        2.0 * delay * 1e3
+    );
+
+    // The same satellites, exported as TLEs for any other tool.
+    let tle = &service.constellation().to_tles()[0];
+    println!("\nfirst satellite as a TLE:\n{}", tle.format());
+}
