@@ -336,7 +336,11 @@ mod tests {
         let region = Geodetic::ground(6.52, 3.38);
         let cold = simulate_cdn(&service, region, &config(CacheHandoffPolicy::ColdStart));
         let warm = simulate_cdn(&service, region, &config(CacheHandoffPolicy::WarmHandoff));
-        assert!(cold.handoffs >= 1, "need churn to compare, got {}", cold.handoffs);
+        assert!(
+            cold.handoffs >= 1,
+            "need churn to compare, got {}",
+            cold.handoffs
+        );
         assert!(
             warm.hit_rate() > cold.hit_rate(),
             "warm {} vs cold {}",

@@ -67,10 +67,7 @@ pub fn compare_edge(
     t: f64,
 ) -> EdgeComparison {
     let vis = service.reachable_servers(user, t);
-    let in_orbit = vis
-        .iter()
-        .map(|v| v.rtt_ms())
-        .min_by(f64::total_cmp);
+    let in_orbit = vis.iter().map(|v| v.rtt_ms()).min_by(f64::total_cmp);
     EdgeComparison {
         terrestrial_rtt_ms: terrestrial_edge_rtt_ms(user, sites),
         in_orbit_rtt_ms: in_orbit,
@@ -211,7 +208,10 @@ mod tests {
 
     #[test]
     fn no_sites_means_no_terrestrial_option() {
-        assert_eq!(terrestrial_edge_rtt_ms(Geodetic::ground(0.0, 0.0), &[]), None);
+        assert_eq!(
+            terrestrial_edge_rtt_ms(Geodetic::ground(0.0, 0.0), &[]),
+            None
+        );
         let c = EdgeComparison {
             terrestrial_rtt_ms: None,
             in_orbit_rtt_ms: Some(5.0),

@@ -128,17 +128,21 @@ mod tests {
 
     #[test]
     fn elevation_at_subpoint_is_ninety_degrees() {
-        let sat = GeoSatellite { longitude_deg: 30.0 };
+        let sat = GeoSatellite {
+            longitude_deg: 30.0,
+        };
         let el = sat.elevation(Geodetic::ground(0.0, 30.0));
         assert!((el.degrees() - 90.0).abs() < 1e-6);
     }
 
     #[test]
     fn bent_pipe_broadcast_rtt_is_half_a_second_scale() {
-        let sat = GeoSatellite { longitude_deg: -20.0 };
+        let sat = GeoSatellite {
+            longitude_deg: -20.0,
+        };
         let rtt = sat.bent_pipe_rtt_ms(
-            Geodetic::ground(51.5, -0.13),  // London uplink
-            Geodetic::ground(6.52, 3.38),   // Lagos viewer
+            Geodetic::ground(51.5, -0.13), // London uplink
+            Geodetic::ground(6.52, 3.38),  // Lagos viewer
         );
         assert!((450.0..520.0).contains(&rtt), "{rtt}");
     }

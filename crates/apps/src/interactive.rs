@@ -41,7 +41,12 @@ impl AppClass {
 
     /// All classes, for sweeps.
     pub fn all() -> [AppClass; 4] {
-        [AppClass::Gaming, AppClass::ArVr, AppClass::Haptic, AppClass::Music]
+        [
+            AppClass::Gaming,
+            AppClass::ArVr,
+            AppClass::Haptic,
+            AppClass::Music,
+        ]
     }
 }
 
@@ -81,6 +86,10 @@ pub fn fairness_at(
 /// RTT spread at each sample time, to the *group-optimal* server of that
 /// instant. The paper's competitive-fairness requirement (§3.2) is that
 /// this spread stays small throughout, not just at one instant.
+///
+/// Samples are independent, so the sweep engine fans them across the
+/// worker pool (snapshots propagate once into the service's cache); the
+/// trace comes back in time order regardless of thread count.
 pub fn fairness_over_session(
     service: &InOrbitService,
     users: &[GroundEndpoint],
@@ -90,14 +99,13 @@ pub fn fairness_over_session(
 ) -> Vec<(f64, f64)> {
     assert!(step_s > 0.0 && duration_s > 0.0);
     let steps = (duration_s / step_s).round() as usize;
-    let mut out = Vec::new();
-    for i in 0..=steps {
-        let t = start_s + i as f64 * step_s;
-        if let Some(rep) = fairness_at(service, users, t) {
-            out.push((t, rep.spread_ms));
-        }
-    }
-    out
+    let times: Vec<f64> = (0..=steps).map(|i| start_s + i as f64 * step_s).collect();
+    leo_sim::parallel_map(times, leo_sim::default_threads(), |&t| {
+        fairness_at(service, users, t).map(|rep| (t, rep.spread_ms))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Fraction of session time the group RTT met an application class's

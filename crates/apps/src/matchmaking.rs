@@ -160,7 +160,10 @@ mod tests {
     }
 
     fn azure_sites() -> Vec<Geodetic> {
-        leo_cities::azure_regions().iter().map(|r| r.geodetic()).collect()
+        leo_cities::azure_regions()
+            .iter()
+            .map(|r| r.geodetic())
+            .collect()
     }
 
     #[test]

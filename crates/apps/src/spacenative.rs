@@ -14,7 +14,6 @@
 
 use leo_core::InOrbitService;
 use leo_geo::{Ecef, Geodetic};
-use leo_net::visibility::coverage_mask;
 use serde::{Deserialize, Serialize};
 
 /// Result of the invisible-satellite count for one ground-station set.
@@ -35,18 +34,12 @@ impl InvisibleReport {
     }
 }
 
-/// Counts satellites invisible from all of `sites` at time `t`.
-pub fn invisible_count(
-    service: &InOrbitService,
-    sites: &[Geodetic],
-    t: f64,
-) -> InvisibleReport {
-    let snap = service.snapshot(t);
-    let grounds: Vec<(Geodetic, Ecef)> = sites
-        .iter()
-        .map(|&g| (g, g.to_ecef_spherical()))
-        .collect();
-    let mask = coverage_mask(service.constellation(), &snap, &grounds);
+/// Counts satellites invisible from all of `sites` at time `t`, through
+/// the service's cached snapshot view and its spatial index.
+pub fn invisible_count(service: &InOrbitService, sites: &[Geodetic], t: f64) -> InvisibleReport {
+    let view = service.view(t);
+    let grounds: Vec<Ecef> = sites.iter().map(|g| g.to_ecef_spherical()).collect();
+    let mask = view.index().coverage_mask(&grounds);
     let invisible = mask.iter().filter(|&&v| !v).count();
     InvisibleReport {
         num_sites: sites.len(),
@@ -55,20 +48,52 @@ pub fn invisible_count(
     }
 }
 
-/// Geodetic subpoints of the invisible satellites at time `t` — the data
-/// behind Fig 5's map.
-pub fn invisible_positions(
+/// [`InvisibleReport`]s for a *growing* ground-station set: one report
+/// per prefix length in `prefix_sizes` (ascending) of `sites`. The
+/// coverage mask is extended incrementally — each site's visibility is
+/// computed exactly once however many prefixes it appears in — which is
+/// what makes Fig 4's 100..=1000-city sweep cheap.
+///
+/// # Panics
+/// Panics when `prefix_sizes` is not ascending or a size exceeds
+/// `sites.len()`.
+pub fn invisible_series(
     service: &InOrbitService,
     sites: &[Geodetic],
     t: f64,
-) -> Vec<Geodetic> {
-    let snap = service.snapshot(t);
-    let grounds: Vec<(Geodetic, Ecef)> = sites
+    prefix_sizes: &[usize],
+) -> Vec<InvisibleReport> {
+    let view = service.view(t);
+    let total_sats = view.index().num_satellites();
+    let mut mask = vec![false; total_sats];
+    let mut covered = 0usize;
+    let mut reports = Vec::with_capacity(prefix_sizes.len());
+    for &n in prefix_sizes {
+        assert!(covered <= n && n <= sites.len(), "prefix sizes must ascend");
+        let grounds: Vec<Ecef> = sites[covered..n]
+            .iter()
+            .map(|g| g.to_ecef_spherical())
+            .collect();
+        view.index().mark_coverage(&grounds, &mut mask);
+        covered = n;
+        reports.push(InvisibleReport {
+            num_sites: n,
+            total_sats,
+            invisible: mask.iter().filter(|&&v| !v).count(),
+        });
+    }
+    reports
+}
+
+/// Geodetic subpoints of the invisible satellites at time `t` — the data
+/// behind Fig 5's map. Shares the cached snapshot view (and therefore
+/// the propagation) with [`invisible_count`] at the same instant.
+pub fn invisible_positions(service: &InOrbitService, sites: &[Geodetic], t: f64) -> Vec<Geodetic> {
+    let view = service.view(t);
+    let grounds: Vec<Ecef> = sites.iter().map(|g| g.to_ecef_spherical()).collect();
+    let mask = view.index().coverage_mask(&grounds);
+    view.snapshot()
         .iter()
-        .map(|&g| (g, g.to_ecef_spherical()))
-        .collect();
-    let mask = coverage_mask(service.constellation(), &snap, &grounds);
-    snap.iter()
         .filter(|(id, _)| !mask[id.0 as usize])
         .map(|(_, pos)| pos.to_geodetic_spherical())
         .collect()
@@ -183,6 +208,27 @@ mod tests {
         let r100 = invisible_count(&service, &ds.top_n_geodetic(100), 0.0);
         let r1000 = invisible_count(&service, &ds.top_n_geodetic(1000), 0.0);
         assert!(r1000.invisible < r100.invisible);
+    }
+
+    #[test]
+    fn invisible_series_matches_pointwise_counts() {
+        let service = InOrbitService::new(presets::kuiper());
+        let sites = WorldCities::load_at_least(400).top_n_geodetic(400);
+        let series = invisible_series(&service, &sites, 0.0, &[100, 250, 400]);
+        assert_eq!(series.len(), 3);
+        for r in &series {
+            let direct = invisible_count(&service, &sites[..r.num_sites], 0.0);
+            assert_eq!(r.invisible, direct.invisible, "at {} sites", r.num_sites);
+            assert_eq!(r.total_sats, direct.total_sats);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix sizes must ascend")]
+    fn invisible_series_rejects_descending_prefixes() {
+        let service = InOrbitService::new(presets::kuiper());
+        let sites = WorldCities::load().top_n_geodetic(50);
+        invisible_series(&service, &sites, 0.0, &[50, 10]);
     }
 
     #[test]

@@ -19,7 +19,10 @@ fn print_quality_table() {
         ("Lagos-Yaounde", (6.52, 3.38), (3.87, 11.52)),
     ];
     println!("\n# ISL topology ablation: ground-to-ground RTT (direct graph, no ground relays)");
-    println!("{:<22} {:>12} {:>12} {:>12}", "route", "+Grid", "ring-only", "no ISLs");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "route", "+Grid", "ring-only", "no ISLs"
+    );
     for (name, (la1, lo1), (la2, lo2)) in routes {
         let a = GroundEndpoint::new(0, Geodetic::ground(la1, lo1));
         let b = GroundEndpoint::new(1, Geodetic::ground(la2, lo2));

@@ -16,7 +16,9 @@ fn contended(n_transfers: usize) -> Vec<f64> {
 
 fn multi_hop(n_transfers: usize) -> Vec<f64> {
     let mut net = DesNetwork::new();
-    let links: Vec<_> = (0..8).map(|_| net.add_link(Link::new(1e10, 0.003))).collect();
+    let links: Vec<_> = (0..8)
+        .map(|_| net.add_link(Link::new(1e10, 0.003)))
+        .collect();
     for i in 0..n_transfers {
         net.schedule_transfer(links.clone(), 1e7, i as f64 * 1e-3);
     }

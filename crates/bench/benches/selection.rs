@@ -31,9 +31,7 @@ fn bench_group_delays(c: &mut Criterion) {
     });
 
     let delays = GroupDelays::compute(&service, &us, 0.0);
-    group.bench_function("minmax_pick", |b| {
-        b.iter(|| black_box(delays.minmax()))
-    });
+    group.bench_function("minmax_pick", |b| b.iter(|| black_box(delays.minmax())));
     group.bench_function("within_slack_10pct", |b| {
         b.iter(|| black_box(delays.within_slack(0.10)))
     });

@@ -5,6 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use leo_cities::WorldCities;
 use leo_constellation::presets;
 use leo_geo::{Ecef, Geodetic};
+use leo_net::index::VisibilityIndex;
 use leo_net::visibility::{coverage_mask, visible_sats};
 
 fn bench_visible_sats(c: &mut Criterion) {
@@ -21,6 +22,44 @@ fn bench_visible_sats(c: &mut Criterion) {
     });
     group.bench_function("kuiper", |b| {
         b.iter(|| black_box(visible_sats(&kuiper, &snap_k, g, ge)))
+    });
+    group.finish();
+}
+
+/// Indexed vs brute-force visibility at Starlink Phase I first-shell
+/// scale (1,584 satellites): the acceptance benchmark of the spatial
+/// index. The two paths return identical results; only the candidate-set
+/// size differs.
+fn bench_indexed_vs_brute(c: &mut Criterion) {
+    let shell = presets::starlink_550_only();
+    let snap = shell.snapshot(0.0);
+    let index = VisibilityIndex::build(&shell, &snap);
+    // Average over a spread of latitudes so neither path is cherry-picked.
+    let grounds: Vec<(Geodetic, Ecef)> = [0.0, 15.0, 30.0, 45.0]
+        .iter()
+        .map(|&lat| {
+            let g = Geodetic::ground(lat, 17.0);
+            (g, g.to_ecef_spherical())
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("visibility_1584");
+    group.bench_function("brute_force", |b| {
+        b.iter(|| {
+            for &(g, ge) in &grounds {
+                black_box(visible_sats(&shell, &snap, g, ge));
+            }
+        })
+    });
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            for &(_, ge) in &grounds {
+                black_box(index.query(ge));
+            }
+        })
+    });
+    group.bench_function("index_build", |b| {
+        b.iter(|| black_box(VisibilityIndex::build(&shell, &snap)))
     });
     group.finish();
 }
@@ -43,5 +82,10 @@ fn bench_coverage_mask(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_visible_sats, bench_coverage_mask);
+criterion_group!(
+    benches,
+    bench_visible_sats,
+    bench_indexed_vs_brute,
+    bench_coverage_mask
+);
 criterion_main!(benches);

@@ -14,11 +14,11 @@ use leo_apps::interactive::AppClass;
 use leo_apps::matchmaking::{pairwise_census, Player};
 use leo_bench::write_results;
 use leo_cities::WorldCities;
+use leo_constellation::presets;
 use leo_core::capacity::CapacityPool;
 use leo_core::InOrbitService;
 use leo_geo::Geodetic;
 use leo_net::weather::{site_availability, LinkBudget, RainClimate};
-use leo_constellation::presets;
 use serde::Serialize;
 
 #[derive(Serialize, Default)]
@@ -34,7 +34,10 @@ fn main() {
 
     // ── weather ──
     println!("# §6 weather: availability of in-orbit compute under rain fade");
-    println!("{:<24} {:>14} {:>14}", "site/climate", "consumer 8dB", "gateway 16dB");
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "site/climate", "consumer 8dB", "gateway 16dB"
+    );
     let snap = service.snapshot(0.0);
     for (name, lat, lon, climate) in [
         ("Lagos/tropical", 6.52, 3.38, RainClimate::TROPICAL),
@@ -58,8 +61,13 @@ fn main() {
     // ── GEO boundary ──
     println!("\n# §6 GEO boundary (from Lagos)");
     let lagos = Geodetic::ground(6.52, 3.38);
-    let geo = GeoSatellite { longitude_deg: 3.38 };
-    println!("  GEO server RTT            : {:.0} ms", geo.server_rtt_ms(lagos));
+    let geo = GeoSatellite {
+        longitude_deg: 3.38,
+    };
+    println!(
+        "  GEO server RTT            : {:.0} ms",
+        geo.server_rtt_ms(lagos)
+    );
     for (workload, budget) in [
         ("video broadcast (1 s)", 1000.0),
         ("web browsing (300 ms)", 300.0),
@@ -82,8 +90,14 @@ fn main() {
         .take(12)
         .map(|c| Player::new(&c.name, c.lat_deg, c.lon_deg))
         .collect();
-    let sites: Vec<Geodetic> = leo_cities::azure_regions().iter().map(|r| r.geodetic()).collect();
-    println!("{:<10} {:>12} {:>12} {:>12}", "class", "terrestrial", "orbit-only", "infeasible");
+    let sites: Vec<Geodetic> = leo_cities::azure_regions()
+        .iter()
+        .map(|r| r.geodetic())
+        .collect();
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "class", "terrestrial", "orbit-only", "infeasible"
+    );
     for class in AppClass::all() {
         let census = pairwise_census(&service, &players, &sites, class, 0.0);
         println!(

@@ -79,7 +79,12 @@ fn main() {
             vis.sort_by(|a, b| a.range_m.total_cmp(&b.range_m));
             println!("{} servers reachable from ({lat}, {lon}):", vis.len());
             for v in vis.iter().take(20) {
-                println!("  {:<8} {:>8.1} km {:>7.2} ms RTT", v.id.to_string(), v.range_m / 1e3, v.rtt_ms());
+                println!(
+                    "  {:<8} {:>8.1} km {:>7.2} ms RTT",
+                    v.id.to_string(),
+                    v.range_m / 1e3,
+                    v.rtt_ms()
+                );
             }
             if vis.len() > 20 {
                 println!("  … and {} more", vis.len() - 20);
@@ -90,9 +95,15 @@ fn main() {
             let lon = parse_f64(args.get(3));
             let ground = Geodetic::ground(lat, lon);
             let passes = predict_passes(&constellation, ground, 0.0, 3600.0, 10.0);
-            println!("{} passes over ({lat}, {lon}) in the next hour", passes.len());
+            println!(
+                "{} passes over ({lat}, {lon}) in the next hour",
+                passes.len()
+            );
             let slots = handover_schedule(&passes, 0.0, 3600.0);
-            println!("hand-over plan ({} hand-offs):", slots.len().saturating_sub(1));
+            println!(
+                "hand-over plan ({} hand-offs):",
+                slots.len().saturating_sub(1)
+            );
             for s in &slots {
                 println!(
                     "  {:<8} serves [{:>6.0} s → {:>6.0} s] ({:>4.0} s)",

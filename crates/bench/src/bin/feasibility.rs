@@ -81,14 +81,20 @@ fn main() {
     ];
 
     println!("# §4 feasibility: model vs paper");
-    println!("{:<42} {:>12} {:>12} {:>6}", "quantity", "model", "paper", "unit");
+    println!(
+        "{:<42} {:>12} {:>12} {:>6}",
+        "quantity", "model", "paper", "unit"
+    );
     for r in &rows {
         let paper = if r.paper.is_nan() {
             "(qual.)".to_string()
         } else {
             format!("{:.1}", r.paper)
         };
-        println!("{:<42} {:>12.1} {:>12} {:>6}", r.quantity, r.model, paper, r.unit);
+        println!(
+            "{:<42} {:>12.1} {:>12} {:>6}",
+            r.quantity, r.model, paper, r.unit
+        );
     }
 
     println!("\n# supporting engineering quantities");

@@ -4,14 +4,17 @@
 //! Methodology (paper §3.1): from a ground location at each latitude,
 //! every minute over two hours, measure the RTT to the nearest and the
 //! farthest directly reachable satellite; report the maximum across the
-//! time samples. Run: `cargo run -p leo-bench --release --bin fig1`
+//! time samples. Each instant is propagated and spatially indexed once
+//! (`leo_sim::TimeSweep`), shared by every latitude.
+//! Run: `cargo run -p leo-bench --release --bin fig1`
 //! (add `--quick` for coarse sampling).
 
-use leo_bench::{parallel_map, quick_mode, write_results};
+use leo_bench::{quick_mode, write_results};
 use leo_constellation::presets;
-use leo_core::access::{access_stats, SamplingConfig};
+use leo_core::access::{AccessStats, SamplingConfig};
 use leo_core::InOrbitService;
 use leo_geo::Geodetic;
+use leo_sim::TimeSweep;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -45,21 +48,32 @@ fn main() {
         v
     };
 
-    let rows = parallel_map(lats, 8, |&lat| {
-        let ground = Geodetic::ground(lat, 0.0);
-        let s = access_stats(&starlink, ground, &sampling);
-        let k = access_stats(&kuiper, ground, &sampling);
-        Row {
+    let sweep_stats = |service: &InOrbitService| -> Vec<AccessStats> {
+        TimeSweep::new(service, sampling.times()).run(lats.clone(), |&lat, views| {
+            let ge = Geodetic::ground(lat, 0.0).to_ecef_spherical();
+            AccessStats::from_visible_sets(views.iter().map(|(_, v)| v.index().query(ge)))
+        })
+    };
+    let starlink_stats = sweep_stats(&starlink);
+    let kuiper_stats = sweep_stats(&kuiper);
+
+    let rows: Vec<Row> = lats
+        .iter()
+        .zip(starlink_stats.iter().zip(&kuiper_stats))
+        .map(|(&lat, (s, k))| Row {
             latitude_deg: lat,
             starlink_min_rtt_ms: s.nearest_rtt_ms,
             starlink_max_rtt_ms: s.farthest_rtt_ms,
             kuiper_min_rtt_ms: k.nearest_rtt_ms,
             kuiper_max_rtt_ms: k.farthest_rtt_ms,
-        }
-    });
+        })
+        .collect();
 
     println!("# Fig 1: Max and Min RTT (ms) to reachable satellite-servers vs latitude");
-    println!("# latency = worst case across {} samples every {} s", sampling.samples, sampling.interval_s);
+    println!(
+        "# latency = worst case across {} samples every {} s",
+        sampling.samples, sampling.interval_s
+    );
     println!(
         "{:>8} {:>14} {:>14} {:>14} {:>14}",
         "lat", "starlink-min", "starlink-max", "kuiper-min", "kuiper-max"

@@ -1,13 +1,16 @@
 //! Fig 2: number of satellite-servers reachable vs latitude (average
 //! over time, with min/max range), Starlink Phase I and Kuiper.
 //!
+//! Each instant is propagated and spatially indexed once
+//! (`leo_sim::TimeSweep`), shared by every latitude.
 //! Run: `cargo run -p leo-bench --release --bin fig2` (add `--quick`).
 
-use leo_bench::{parallel_map, quick_mode, write_results};
+use leo_bench::{quick_mode, write_results};
 use leo_constellation::presets;
-use leo_core::access::{access_stats, SamplingConfig};
+use leo_core::access::{AccessStats, SamplingConfig};
 use leo_core::InOrbitService;
 use leo_geo::Geodetic;
+use leo_sim::TimeSweep;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -43,11 +46,19 @@ fn main() {
         v
     };
 
-    let rows = parallel_map(lats, 8, |&lat| {
-        let ground = Geodetic::ground(lat, 0.0);
-        let s = access_stats(&starlink, ground, &sampling);
-        let k = access_stats(&kuiper, ground, &sampling);
-        Row {
+    let sweep_stats = |service: &InOrbitService| -> Vec<AccessStats> {
+        TimeSweep::new(service, sampling.times()).run(lats.clone(), |&lat, views| {
+            let ge = Geodetic::ground(lat, 0.0).to_ecef_spherical();
+            AccessStats::from_visible_sets(views.iter().map(|(_, v)| v.index().query(ge)))
+        })
+    };
+    let starlink_stats = sweep_stats(&starlink);
+    let kuiper_stats = sweep_stats(&kuiper);
+
+    let rows: Vec<Row> = lats
+        .iter()
+        .zip(starlink_stats.iter().zip(&kuiper_stats))
+        .map(|(&lat, (s, k))| Row {
             latitude_deg: lat,
             starlink_min: s.min_count,
             starlink_avg: s.avg_count,
@@ -55,8 +66,8 @@ fn main() {
             kuiper_min: k.min_count,
             kuiper_avg: k.avg_count,
             kuiper_max: k.max_count,
-        }
-    });
+        })
+        .collect();
 
     println!("# Fig 2: number of satellite-servers within range vs latitude");
     println!(
@@ -66,8 +77,13 @@ fn main() {
     for r in &rows {
         println!(
             "{:>8.1} {:>8} {:>8.1} {:>8} {:>8} {:>8.1} {:>8}",
-            r.latitude_deg, r.starlink_min, r.starlink_avg, r.starlink_max,
-            r.kuiper_min, r.kuiper_avg, r.kuiper_max,
+            r.latitude_deg,
+            r.starlink_min,
+            r.starlink_avg,
+            r.starlink_max,
+            r.kuiper_min,
+            r.kuiper_avg,
+            r.kuiper_max,
         );
     }
 

@@ -5,7 +5,7 @@
 //! Starlink's and more than half of Kuiper's satellites are "invisible"
 //! at any time. Run: `cargo run -p leo-bench --release --bin fig4`.
 
-use leo_apps::spacenative::invisible_count;
+use leo_apps::spacenative::invisible_series;
 use leo_bench::write_results;
 use leo_cities::WorldCities;
 use leo_constellation::presets;
@@ -26,19 +26,25 @@ fn main() {
     let kuiper = InOrbitService::new(presets::kuiper());
     let cities = WorldCities::load_at_least(1000);
 
-    let mut rows = Vec::new();
-    for n in (100..=1000).step_by(100) {
-        let sites = cities.top_n_geodetic(n);
-        let s = invisible_count(&starlink, &sites, 0.0);
-        let k = invisible_count(&kuiper, &sites, 0.0);
-        rows.push(Row {
-            num_cities: n,
+    // The catalog is population-sorted, so the top-n sets are prefixes of
+    // the top-1000 list: one propagated snapshot (cached view) per
+    // constellation and one visibility query per city covers all ten rows.
+    let sites = cities.top_n_geodetic(1000);
+    let sizes: Vec<usize> = (100..=1000).step_by(100).collect();
+    let s_series = invisible_series(&starlink, &sites, 0.0, &sizes);
+    let k_series = invisible_series(&kuiper, &sites, 0.0, &sizes);
+
+    let rows: Vec<Row> = s_series
+        .iter()
+        .zip(&k_series)
+        .map(|(s, k)| Row {
+            num_cities: s.num_sites,
             starlink_invisible: s.invisible,
             starlink_fraction: s.fraction(),
             kuiper_invisible: k.invisible,
             kuiper_fraction: k.fraction(),
-        });
-    }
+        })
+        .collect();
 
     println!("# Fig 4: invisible satellites vs number of ground cities (snapshot at t=0)");
     println!("# constellation sizes: Starlink P1 = 4409, Kuiper = 3236");

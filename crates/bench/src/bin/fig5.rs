@@ -39,10 +39,7 @@ fn main() {
     map.plot(invisible.iter(), 'o');
     println!("{}", map.render());
 
-    let south = invisible
-        .iter()
-        .filter(|p| p.lat.degrees() < 0.0)
-        .count();
+    let south = invisible.iter().filter(|p| p.lat.degrees() < 0.0).count();
     println!(
         "\n# {south} of {} invisible satellites are in the southern hemisphere \
          (paper: \"the vast majority … South of most of the World's population\")",

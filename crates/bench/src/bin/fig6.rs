@@ -10,6 +10,7 @@ use leo_core::session::run_session;
 use leo_core::{Cdf, InOrbitService, Policy, SessionConfig};
 use leo_geo::Geodetic;
 use leo_net::routing::GroundEndpoint;
+use leo_sim::{default_threads, parallel_map};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -48,14 +49,26 @@ fn main() {
         tick_s: if quick_mode() { 5.0 } else { 1.0 },
     };
 
+    // All (policy × group) sessions tick the same schedule against one
+    // service, so the engine fans them across the pool and each instant's
+    // snapshot is propagated once into the shared cache.
+    let policies = [Policy::MinMax, Policy::sticky_default()];
+    let combos: Vec<(Policy, Vec<GroundEndpoint>)> = policies
+        .iter()
+        .flat_map(|&p| groups().into_iter().map(move |g| (p, g)))
+        .collect();
+    let runs = parallel_map(combos, default_threads(), |(policy, users)| {
+        run_session(&service, users, *policy, &cfg)
+    });
+
+    let per_policy = groups().len();
     let mut series = Vec::new();
-    for policy in [Policy::MinMax, Policy::sticky_default()] {
-        let mut intervals = Vec::new();
-        for users in groups() {
-            let r = run_session(&service, &users, policy, &cfg);
-            intervals.extend(r.times_between_handoffs());
-        }
-        let cdf = Cdf::new(intervals.clone());
+    for (i, policy) in policies.iter().enumerate() {
+        let intervals: Vec<f64> = runs[i * per_policy..(i + 1) * per_policy]
+            .iter()
+            .flat_map(|r| r.times_between_handoffs())
+            .collect();
+        let cdf = Cdf::new(intervals);
         series.push(PolicySeries {
             policy: policy.name().into(),
             median_s: cdf.median(),
@@ -63,7 +76,11 @@ fn main() {
         });
     }
 
-    println!("# Fig 6: CDF of time between hand-offs (s), {} user groups, {:.0}-s ticks", groups().len(), cfg.tick_s);
+    println!(
+        "# Fig 6: CDF of time between hand-offs (s), {} user groups, {:.0}-s ticks",
+        groups().len(),
+        cfg.tick_s
+    );
     println!("{:>10} {:>12} {:>12}", "quantile", "MinMax", "Sticky");
     let mm = Cdf::new(series[0].intervals_s.clone());
     let st = Cdf::new(series[1].intervals_s.clone());

@@ -12,6 +12,7 @@ use leo_core::session::run_session;
 use leo_core::{Cdf, InOrbitService, Policy, SessionConfig};
 use leo_geo::Geodetic;
 use leo_net::routing::GroundEndpoint;
+use leo_sim::{default_threads, parallel_map};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -45,17 +46,24 @@ fn main() {
         tick_s: if quick_mode() { 5.0 } else { 1.0 },
     };
 
+    // Same engine shape as Fig 6: fan the (policy × group) sessions
+    // across the pool over one shared snapshot cache.
+    let policies = [Policy::MinMax, Policy::sticky_default()];
+    let combos: Vec<(Policy, Vec<GroundEndpoint>)> = policies
+        .iter()
+        .flat_map(|&p| groups().into_iter().map(move |g| (p, g)))
+        .collect();
+    let runs = parallel_map(combos, default_threads(), |(policy, users)| {
+        run_session(&service, users, *policy, &cfg)
+    });
+
+    let per_policy = groups().len();
     let mut series = Vec::new();
-    for policy in [Policy::MinMax, Policy::sticky_default()] {
-        let mut latencies = Vec::new();
-        for users in groups() {
-            let r = run_session(&service, &users, policy, &cfg);
-            latencies.extend(
-                r.events
-                    .iter()
-                    .filter_map(|e| e.transfer_latency_ms),
-            );
-        }
+    for (i, policy) in policies.iter().enumerate() {
+        let latencies: Vec<f64> = runs[i * per_policy..(i + 1) * per_policy]
+            .iter()
+            .flat_map(|r| r.events.iter().filter_map(|e| e.transfer_latency_ms))
+            .collect();
         let cdf = Cdf::new(latencies);
         series.push(PolicySeries {
             policy: policy.name().into(),

@@ -27,13 +27,7 @@ struct Row {
     orbit_wins: Option<bool>,
 }
 
-fn sweep(
-    service: &InOrbitService,
-    region: &str,
-    a: Geodetic,
-    b: Geodetic,
-    rows: &mut Vec<Row>,
-) {
+fn sweep(service: &InOrbitService, region: &str, a: Geodetic, b: Geodetic, rows: &mut Vec<Row>) {
     let sites = azure_sites();
     println!("\n# region: {region}");
     println!(

@@ -32,61 +32,38 @@ pub fn write_results<T: Serialize>(name: &str, data: &T) {
     }
 }
 
-/// Returns true when the binary was invoked with `--quick` (coarser
-/// sampling for CI / smoke runs).
+/// Returns true when the binary was invoked with `--quick`, or when the
+/// `LEO_QUICK` environment variable is set to anything but `0` or the
+/// empty string (coarser sampling for CI / smoke runs).
 pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    if std::env::args().any(|a| a == "--quick") {
+        return true;
+    }
+    matches!(std::env::var("LEO_QUICK"), Ok(v) if !v.is_empty() && v != "0")
 }
 
-/// Splits `items` across `threads` chunks and maps them in parallel with
-/// crossbeam scoped threads, preserving input order in the output.
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    assert!(threads > 0);
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            let f = &f;
-            s.spawn(move |_| {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    out.into_iter().map(|r| r.expect("slot filled")).collect()
-}
+// The experiment binaries predate the sweep engine; keep the old
+// `leo_bench::parallel_map` path working.
+pub use leo_sim::parallel_map;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<i64> = (0..100).collect();
-        let out = parallel_map(items.clone(), 7, |&x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_map_handles_empty_and_single() {
-        assert_eq!(parallel_map(Vec::<i32>::new(), 4, |&x| x), Vec::<i32>::new());
-        assert_eq!(parallel_map(vec![42], 4, |&x| x + 1), vec![43]);
-    }
-
-    #[test]
-    fn parallel_map_with_more_threads_than_items() {
-        let out = parallel_map(vec![1, 2, 3], 16, |&x| x * x);
-        assert_eq!(out, vec![1, 4, 9]);
+    fn quick_mode_honors_the_environment() {
+        // Serial by construction: this is the only test in the crate
+        // touching LEO_QUICK.
+        let saved = std::env::var("LEO_QUICK").ok();
+        std::env::set_var("LEO_QUICK", "1");
+        assert!(quick_mode());
+        std::env::set_var("LEO_QUICK", "0");
+        assert!(!quick_mode());
+        std::env::set_var("LEO_QUICK", "");
+        assert!(!quick_mode());
+        match saved {
+            Some(v) => std::env::set_var("LEO_QUICK", v),
+            None => std::env::remove_var("LEO_QUICK"),
+        }
     }
 }

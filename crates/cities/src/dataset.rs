@@ -146,7 +146,14 @@ mod tests {
     #[test]
     fn by_name_finds_fig3_cities() {
         let ds = WorldCities::load();
-        for name in ["Abuja", "Yaounde", "Lagos", "San Antonio", "Sydney", "Sao Paulo"] {
+        for name in [
+            "Abuja",
+            "Yaounde",
+            "Lagos",
+            "San Antonio",
+            "Sydney",
+            "Sao Paulo",
+        ] {
             assert!(ds.by_name(name).is_some(), "missing {name}");
         }
     }

@@ -77,7 +77,9 @@ pub fn synthesize(count: usize) -> Vec<City> {
     let mut out = Vec::with_capacity(count);
     for i in 0..count {
         let pick = (rng.next_f64() * total_pop as f64) as u64;
-        let idx = cumulative.partition_point(|&c| c <= pick).min(REAL_CITY_COUNT - 1);
+        let idx = cumulative
+            .partition_point(|&c| c <= pick)
+            .min(REAL_CITY_COUNT - 1);
         let (name, country, lat, lon, _) = RAW_CITIES[idx];
 
         let dlat = rng.range(-3.0, 3.0);
@@ -93,8 +95,7 @@ pub fn synthesize(count: usize) -> Vec<City> {
             l
         };
         // Rank-size tail: population decays with synthetic rank.
-        let population =
-            (min_real_pop as f64 * (1.0 / (1.0 + i as f64 * 0.01)).max(0.05)) as u64;
+        let population = (min_real_pop as f64 * (1.0 / (1.0 + i as f64 * 0.01)).max(0.05)) as u64;
         out.push(City {
             name: format!("{name}-satellite-{i}"),
             country: country.to_string(),
@@ -170,7 +171,11 @@ mod tests {
                 let dlo = (c.lon_deg - lo).abs().min(360.0 - (c.lon_deg - lo).abs());
                 (c.lat_deg - la).abs() < 9.0 && dlo < 5.0
             });
-            assert!(near, "{} stranded at ({}, {})", c.name, c.lat_deg, c.lon_deg);
+            assert!(
+                near,
+                "{} stranded at ({}, {})",
+                c.name, c.lat_deg, c.lon_deg
+            );
         }
     }
 

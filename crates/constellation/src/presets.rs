@@ -101,7 +101,10 @@ pub fn starlink_phase1_conservative() -> Constellation {
 /// Only the first (550 km) Starlink shell — the 1,584 satellites actually
 /// being launched first; convenient for faster simulations.
 pub fn starlink_550_only() -> Constellation {
-    Constellation::from_shells("Starlink 550km shell", vec![starlink_phase1_shells().remove(0)])
+    Constellation::from_shells(
+        "Starlink 550km shell",
+        vec![starlink_phase1_shells().remove(0)],
+    )
 }
 
 /// The three shells of Kuiper (3,236 satellites).
@@ -177,10 +180,7 @@ mod tests {
 
     #[test]
     fn every_preset_shell_validates() {
-        for s in starlink_phase1_shells()
-            .into_iter()
-            .chain(kuiper_shells())
-        {
+        for s in starlink_phase1_shells().into_iter().chain(kuiper_shells()) {
             assert!(s.validate().is_ok(), "{}", s.name);
         }
     }

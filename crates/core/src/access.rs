@@ -9,6 +9,7 @@
 
 use crate::service::InOrbitService;
 use leo_geo::Geodetic;
+use leo_net::VisibleSat;
 use serde::{Deserialize, Serialize};
 
 /// Sampling schedule for the access experiments.
@@ -64,47 +65,65 @@ pub struct AccessStats {
     pub max_count: usize,
 }
 
+impl AccessStats {
+    /// Folds per-sample visible-satellite sets into the worst-case /
+    /// count statistics. This is the aggregation shared by
+    /// [`access_stats`] and the sweep-engine ports of Figs 1–2, which
+    /// produce the per-instant sets from prebuilt snapshot views.
+    pub fn from_visible_sets<I>(sets: I) -> AccessStats
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[VisibleSat]>,
+    {
+        let mut nearest_worst: f64 = 0.0;
+        let mut farthest_worst: f64 = 0.0;
+        let mut served_everywhere = true;
+        let mut min_count = usize::MAX;
+        let mut max_count = 0usize;
+        let mut total_count = 0usize;
+        let mut samples = 0usize;
+
+        for set in sets {
+            let vis = set.as_ref();
+            samples += 1;
+            min_count = min_count.min(vis.len());
+            max_count = max_count.max(vis.len());
+            total_count += vis.len();
+            if vis.is_empty() {
+                served_everywhere = false;
+                continue;
+            }
+            let near = vis.iter().map(|v| v.rtt_ms()).fold(f64::INFINITY, f64::min);
+            let far = vis.iter().map(|v| v.rtt_ms()).fold(0.0, f64::max);
+            nearest_worst = nearest_worst.max(near);
+            farthest_worst = farthest_worst.max(far);
+        }
+
+        AccessStats {
+            nearest_rtt_ms: (served_everywhere && samples > 0).then_some(nearest_worst),
+            farthest_rtt_ms: (served_everywhere && samples > 0).then_some(farthest_worst),
+            min_count: if samples == 0 { 0 } else { min_count },
+            avg_count: if samples == 0 {
+                0.0
+            } else {
+                total_count as f64 / samples as f64
+            },
+            max_count,
+        }
+    }
+}
+
 /// Computes [`AccessStats`] for a ground location.
 pub fn access_stats(
     service: &InOrbitService,
     ground: Geodetic,
     sampling: &SamplingConfig,
 ) -> AccessStats {
-    let mut nearest_worst: f64 = 0.0;
-    let mut farthest_worst: f64 = 0.0;
-    let mut served_everywhere = true;
-    let mut min_count = usize::MAX;
-    let mut max_count = 0usize;
-    let mut total_count = 0usize;
-    let mut samples = 0usize;
-
-    for t in sampling.times() {
-        let vis = service.reachable_servers(ground, t);
-        samples += 1;
-        min_count = min_count.min(vis.len());
-        max_count = max_count.max(vis.len());
-        total_count += vis.len();
-        if vis.is_empty() {
-            served_everywhere = false;
-            continue;
-        }
-        let near = vis.iter().map(|v| v.rtt_ms()).fold(f64::INFINITY, f64::min);
-        let far = vis.iter().map(|v| v.rtt_ms()).fold(0.0, f64::max);
-        nearest_worst = nearest_worst.max(near);
-        farthest_worst = farthest_worst.max(far);
-    }
-
-    AccessStats {
-        nearest_rtt_ms: served_everywhere.then_some(nearest_worst),
-        farthest_rtt_ms: served_everywhere.then_some(farthest_worst),
-        min_count: if samples == 0 { 0 } else { min_count },
-        avg_count: if samples == 0 {
-            0.0
-        } else {
-            total_count as f64 / samples as f64
-        },
-        max_count,
-    }
+    AccessStats::from_visible_sets(
+        sampling
+            .times()
+            .map(|t| service.reachable_servers(ground, t)),
+    )
 }
 
 /// One row of the Fig 1/2 latitude sweep.

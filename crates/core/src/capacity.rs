@@ -194,8 +194,10 @@ mod tests {
         let req = request(10.0, 10.0, 1);
         let first = pool.place(&req);
         let second = pool.place(&req);
-        let (PlacementOutcome::Placed { server: s1, .. }, PlacementOutcome::Placed { server: s2, rtt_ms }) =
-            (first, second)
+        let (
+            PlacementOutcome::Placed { server: s1, .. },
+            PlacementOutcome::Placed { server: s2, rtt_ms },
+        ) = (first, second)
         else {
             panic!("both should place");
         };

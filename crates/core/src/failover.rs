@@ -40,7 +40,9 @@ impl FailureModel {
         if self.annual_failure_rate <= 0.0 {
             return f64::INFINITY;
         }
-        let mut rng = SplitMix64::new(self.seed ^ (0x9E37_79B9 ^ u64::from(sat.0)).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut rng = SplitMix64::new(
+            self.seed ^ (0x9E37_79B9 ^ u64::from(sat.0)).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
         // Exponential draw: −ln(U)/λ years → seconds.
         let u = rng.next_f64().max(1e-18);
         let years = -u.ln() / self.annual_failure_rate;
@@ -131,7 +133,9 @@ pub fn run_session_with_failures(
                 // model, but only when the old server is alive.
                 if failures.alive(old, t) {
                     let snap = service.snapshot(t);
-                    service.migration_delay(&snap, users, old, desired).map(|d| d * 1e3)
+                    service
+                        .migration_delay(&snap, users, old, desired)
+                        .map(|d| d * 1e3)
                 } else {
                     None
                 }
@@ -265,17 +269,16 @@ mod tests {
             annual_failure_rate: 2000.0,
             seed: 11,
         };
-        let (result, _) = run_session_with_failures(
-            &service,
-            &users(),
-            Policy::sticky_default(),
-            &config(),
-            &m,
-        );
+        let (result, _) =
+            run_session_with_failures(&service, &users(), Policy::sticky_default(), &config(), &m);
         // Every held server in the event log must have been alive when
         // acquired.
         for e in &result.events {
-            assert!(m.alive(e.to, e.time_s), "acquired a dead server at {}", e.time_s);
+            assert!(
+                m.alive(e.to, e.time_s),
+                "acquired a dead server at {}",
+                e.time_s
+            );
         }
     }
 }

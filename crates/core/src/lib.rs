@@ -45,6 +45,6 @@ pub mod session;
 pub mod stats;
 
 pub use selection::{GroupDelays, Policy, StickyParams};
-pub use service::InOrbitService;
+pub use service::{InOrbitService, SnapshotView};
 pub use session::{HandoffEvent, SessionConfig, SessionResult};
 pub use stats::Cdf;

@@ -122,9 +122,9 @@ mod tests {
 
     fn west_africa() -> Vec<GroundEndpoint> {
         vec![
-            GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)),  // Abuja
+            GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)), // Abuja
             GroundEndpoint::new(1, Geodetic::ground(3.87, 11.52)), // Yaoundé
-            GroundEndpoint::new(2, Geodetic::ground(6.52, 3.38)),  // Lagos
+            GroundEndpoint::new(2, Geodetic::ground(6.52, 3.38)), // Lagos
         ]
     }
 
@@ -150,8 +150,11 @@ mod tests {
             "improvement {}",
             cmp.improvement_factor()
         );
-        assert!(cmp.best_site.contains("South Africa") || cmp.best_site.contains("Europe"),
-            "unexpected best site {}", cmp.best_site);
+        assert!(
+            cmp.best_site.contains("South Africa") || cmp.best_site.contains("Europe"),
+            "unexpected best site {}",
+            cmp.best_site
+        );
     }
 
     #[test]
@@ -161,7 +164,7 @@ mod tests {
         // hybrid vs 66 ms in-orbit.
         let service = InOrbitService::new(presets::kuiper());
         let users = vec![
-            GroundEndpoint::new(0, Geodetic::ground(29.42, -98.49)),  // San Antonio
+            GroundEndpoint::new(0, Geodetic::ground(29.42, -98.49)), // San Antonio
             GroundEndpoint::new(1, Geodetic::ground(-23.55, -46.63)), // São Paulo
             GroundEndpoint::new(2, Geodetic::ground(-33.87, 151.21)), // Sydney
         ];
@@ -214,7 +217,9 @@ mod tests {
                 GroundEndpoint::new(1, Geodetic::ground(lat - 4.0, lon + 5.0)),
             ];
             let relayed = GroupDelays::compute(&service, &users, 0.0);
-            let Some((_, best)) = relayed.minmax() else { continue };
+            let Some((_, best)) = relayed.minmax() else {
+                continue;
+            };
             let in_orbit_rtt = 2.0 * best * 1e3;
             for site in azure_sites().iter().take(8) {
                 if let Some(hybrid) = hybrid_group_rtt_ms(&service, &users, site, 0.0) {

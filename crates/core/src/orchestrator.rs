@@ -221,9 +221,7 @@ mod tests {
     fn scarce_capacity_blocks_the_overflow() {
         let s = service();
         // More single-slot groups than any location has visible servers.
-        let visible = s
-            .reachable_servers(Geodetic::ground(10.0, 10.0), 0.0)
-            .len();
+        let visible = s.reachable_servers(Geodetic::ground(10.0, 10.0), 0.0).len();
         let groups: Vec<GroupSpec> = (0..visible + 4)
             .map(|i| group(&format!("g{i}"), 10.0, 10.0, 1))
             .collect();

@@ -217,7 +217,12 @@ mod tests {
         let s = service();
         let mm = predict_servers(&s, &users(), Policy::MinMax, 0.0, 1800.0, 15.0);
         let st = predict_servers(&s, &users(), Policy::sticky_default(), 0.0, 1800.0, 15.0);
-        assert!(st.len() <= mm.len(), "sticky {} vs minmax {}", st.len(), mm.len());
+        assert!(
+            st.len() <= mm.len(),
+            "sticky {} vs minmax {}",
+            st.len(),
+            mm.len()
+        );
     }
 
     #[test]
@@ -241,8 +246,8 @@ mod tests {
     #[test]
     fn plan_shrinks_the_critical_path_by_the_generic_share() {
         let sizes = StateSizes {
-            session_bytes: 10e6,  // 10 MB of player state
-            generic_bytes: 2e9,   // 2 GB virtual world
+            session_bytes: 10e6, // 10 MB of player state
+            generic_bytes: 2e9,  // 2 GB virtual world
         };
         let plan = ReplicationPlan::build(vec![], sizes, 0, 0.0);
         let links = [Link::new(100e9, 0.003)];
@@ -257,8 +262,16 @@ mod tests {
     #[test]
     fn prefetch_feasibility_depends_on_lead_time() {
         let iv = vec![
-            ServingInterval { server: SatId(0), from_s: 0.0, until_s: 100.0 },
-            ServingInterval { server: SatId(1), from_s: 100.0, until_s: 250.0 },
+            ServingInterval {
+                server: SatId(0),
+                from_s: 0.0,
+                until_s: 100.0,
+            },
+            ServingInterval {
+                server: SatId(1),
+                from_s: 100.0,
+                until_s: 250.0,
+            },
         ];
         let sizes = StateSizes {
             session_bytes: 1e6,
@@ -274,12 +287,23 @@ mod tests {
     #[test]
     fn lead_time_never_schedules_before_time_zero() {
         let iv = vec![
-            ServingInterval { server: SatId(0), from_s: 0.0, until_s: 30.0 },
-            ServingInterval { server: SatId(1), from_s: 30.0, until_s: 60.0 },
+            ServingInterval {
+                server: SatId(0),
+                from_s: 0.0,
+                until_s: 30.0,
+            },
+            ServingInterval {
+                server: SatId(1),
+                from_s: 30.0,
+                until_s: 60.0,
+            },
         ];
         let plan = ReplicationPlan::build(
             iv,
-            StateSizes { session_bytes: 1.0, generic_bytes: 1.0 },
+            StateSizes {
+                session_bytes: 1.0,
+                generic_bytes: 1.0,
+            },
             1,
             300.0,
         );

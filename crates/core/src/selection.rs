@@ -68,8 +68,8 @@ impl GroupDelays {
     /// (§3.2: user terminals talk to the satellite directly, no gateway).
     /// This is the model §5's hand-off analysis runs on.
     pub fn direct(service: &InOrbitService, users: &[GroundEndpoint], t: f64) -> Self {
-        let snap = service.snapshot(t);
-        Self::from_user_delays(&service.user_direct_delays(&snap, users))
+        let view = service.view(t);
+        Self::from_user_delays(&service.user_direct_delays_view(&view, users))
     }
 
     /// Group delay of one satellite, seconds (max over users, one-way).

@@ -5,11 +5,53 @@ use leo_constellation::{Constellation, SatId, Snapshot};
 use leo_geo::Geodetic;
 use leo_net::routing::{self, GroundEndpoint};
 use leo_net::visibility::{self, VisibleSat};
-use leo_net::{IslTopology, NetworkGraph};
+use leo_net::{IslTopology, NetworkGraph, VisibilityIndex};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Propagated positions at one instant, paired with the spatial
+/// visibility index over them. This is the unit the snapshot cache holds
+/// and what the sweep engine in `leo-sim` hands to its workers: one
+/// propagation + one index build, shared by every query at that instant.
+#[derive(Debug, Clone)]
+pub struct SnapshotView {
+    snapshot: Snapshot,
+    index: VisibilityIndex,
+}
+
+impl SnapshotView {
+    /// Builds a view by propagating `constellation` to `t`.
+    pub fn build(constellation: &Constellation, t: f64) -> SnapshotView {
+        let snapshot = constellation.snapshot(t);
+        let index = VisibilityIndex::build(constellation, &snapshot);
+        SnapshotView { snapshot, index }
+    }
+
+    /// The propagated positions.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// The latitude-banded visibility index over this snapshot.
+    pub fn index(&self) -> &VisibilityIndex {
+        &self.index
+    }
+}
+
+/// How many instants the snapshot cache holds before it is cleared.
+/// Sweeps (121 sample times shared across ~91 ground points in Fig 1)
+/// fit comfortably; hour-long 1 s-tick sessions stream through, clearing
+/// a few times, which costs re-propagation but bounds memory.
+const SNAPSHOT_CACHE_CAP: usize = 1024;
 
 /// A LEO constellation operated as an in-orbit computing provider: every
 /// satellite hosts a server, reachable directly from the ground or over
 /// inter-satellite links.
+///
+/// Repeated queries at the same instant — the normal shape of every
+/// experiment sweep — share one propagated [`SnapshotView`] through an
+/// internal cache keyed by the query time, so positions are computed and
+/// indexed once per instant no matter how many ground points ask.
 ///
 /// ```
 /// use leo_core::InOrbitService;
@@ -23,10 +65,23 @@ use leo_net::{IslTopology, NetworkGraph};
 /// // Every reachable server is within the paper's 16 ms bound:
 /// assert!(servers.iter().all(|s| s.rtt_ms() < 16.5));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct InOrbitService {
     constellation: Constellation,
     topology: IslTopology,
+    cache: Mutex<HashMap<u64, Arc<SnapshotView>>>,
+}
+
+impl Clone for InOrbitService {
+    fn clone(&self) -> Self {
+        InOrbitService {
+            constellation: self.constellation.clone(),
+            topology: self.topology.clone(),
+            // Cached views are immutable and Arc-shared; cloning the map
+            // is a handful of pointer bumps.
+            cache: Mutex::new(self.cache.lock().expect("cache lock").clone()),
+        }
+    }
 }
 
 impl InOrbitService {
@@ -36,7 +91,27 @@ impl InOrbitService {
         InOrbitService {
             constellation,
             topology,
+            cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The cached [`SnapshotView`] at `t` seconds after the epoch,
+    /// propagating and indexing on first use. Distinct times propagate
+    /// concurrently: the cache lock is held only for lookup and insert,
+    /// not during propagation.
+    pub fn view(&self, t: f64) -> Arc<SnapshotView> {
+        let key = t.to_bits();
+        if let Some(v) = self.cache.lock().expect("cache lock").get(&key) {
+            return Arc::clone(v);
+        }
+        let built = Arc::new(SnapshotView::build(&self.constellation, t));
+        let mut cache = self.cache.lock().expect("cache lock");
+        if cache.len() >= SNAPSHOT_CACHE_CAP {
+            cache.clear();
+        }
+        // Two threads may race to build the same instant; keep the first
+        // insert so all holders share one allocation.
+        Arc::clone(cache.entry(key).or_insert(built))
     }
 
     /// The underlying constellation.
@@ -55,15 +130,17 @@ impl InOrbitService {
         self.constellation.num_satellites()
     }
 
-    /// Positions at `t` seconds after the epoch.
+    /// Positions at `t` seconds after the epoch. Served from the snapshot
+    /// cache: repeated calls at one instant cost a copy, not a
+    /// re-propagation.
     pub fn snapshot(&self, t: f64) -> Snapshot {
-        self.constellation.snapshot(t)
+        self.view(t).snapshot().clone()
     }
 
-    /// Satellite-servers directly reachable from a ground point at `t`.
+    /// Satellite-servers directly reachable from a ground point at `t`,
+    /// answered through the cached spatial index.
     pub fn reachable_servers(&self, ground: Geodetic, t: f64) -> Vec<VisibleSat> {
-        let snap = self.snapshot(t);
-        self.reachable_servers_in(&snap, ground)
+        self.view(t).index().query(ground.to_ecef_spherical())
     }
 
     /// Same as [`InOrbitService::reachable_servers`] against a prebuilt
@@ -149,6 +226,25 @@ impl InOrbitService {
             })
             .collect()
     }
+
+    /// [`InOrbitService::user_direct_delays`] answered through a
+    /// [`SnapshotView`]'s spatial index — the per-tick hot path of the
+    /// session runner and the Sticky lookahead.
+    pub fn user_direct_delays_view(
+        &self,
+        view: &SnapshotView,
+        users: &[GroundEndpoint],
+    ) -> Vec<Vec<f64>> {
+        users
+            .iter()
+            .map(|u| {
+                let mut row = vec![f64::INFINITY; self.constellation.num_satellites()];
+                view.index()
+                    .for_each_visible(u.ecef, |v| row[v.id.0 as usize] = v.delay_s());
+                row
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -192,11 +288,53 @@ mod tests {
     fn server_to_server_delay_is_symmetric_and_zero_on_diagonal() {
         let s = service();
         let snap = s.snapshot(100.0);
-        assert_eq!(s.server_to_server_delay(&snap, SatId(5), SatId(5)), Some(0.0));
-        let ab = s.server_to_server_delay(&snap, SatId(0), SatId(700)).unwrap();
-        let ba = s.server_to_server_delay(&snap, SatId(700), SatId(0)).unwrap();
+        assert_eq!(
+            s.server_to_server_delay(&snap, SatId(5), SatId(5)),
+            Some(0.0)
+        );
+        let ab = s
+            .server_to_server_delay(&snap, SatId(0), SatId(700))
+            .unwrap();
+        let ba = s
+            .server_to_server_delay(&snap, SatId(700), SatId(0))
+            .unwrap();
         assert!((ab - ba).abs() < 1e-12);
         assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn cached_view_is_shared_and_matches_direct_propagation() {
+        let s = service();
+        let a = s.view(321.0);
+        let b = s.view(321.0);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        let fresh = s.constellation().snapshot(321.0);
+        assert_eq!(a.snapshot().len(), fresh.len());
+        for (id, pos) in fresh.iter() {
+            assert_eq!(a.snapshot().position(id), pos);
+        }
+    }
+
+    #[test]
+    fn indexed_direct_delays_equal_brute_force() {
+        let s = service();
+        let users = [
+            GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)),
+            GroundEndpoint::new(1, Geodetic::ground(-33.9, 18.4)),
+        ];
+        let view = s.view(777.0);
+        let brute = s.user_direct_delays(view.snapshot(), &users);
+        let indexed = s.user_direct_delays_view(&view, &users);
+        assert_eq!(brute, indexed);
+    }
+
+    #[test]
+    fn clones_share_cached_views() {
+        let s = service();
+        let a = s.view(10.0);
+        let s2 = s.clone();
+        let b = s2.view(10.0);
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

@@ -297,10 +297,7 @@ mod tests {
     fn interval_and_transfer_cdfs_are_consistent_with_events() {
         let service = InOrbitService::new(presets::starlink_550_only());
         let r = run_session(&service, &users(), Policy::MinMax, &short_config());
-        assert_eq!(
-            r.times_between_handoffs().len() + 1,
-            r.events.len().max(1)
-        );
+        assert_eq!(r.times_between_handoffs().len() + 1, r.events.len().max(1));
         assert_eq!(r.transfer_latency_cdf().len(), r.handoff_count());
     }
 

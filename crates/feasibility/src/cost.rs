@@ -107,8 +107,8 @@ mod tests {
     fn outfitting_starlink_phase1_costs_under_200m_usd() {
         // 4,409 × 42.4 k ≈ 187 M USD — small next to constellation capex,
         // which is the paper's implicit point.
-        let fleet = CostModel::default()
-            .fleet_launch_cost_usd(&ServerSpec::hpe_dl325_gen10(), 4409);
+        let fleet =
+            CostModel::default().fleet_launch_cost_usd(&ServerSpec::hpe_dl325_gen10(), 4409);
         assert!((150e6..210e6).contains(&fleet), "{fleet}");
     }
 

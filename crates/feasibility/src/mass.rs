@@ -49,12 +49,13 @@ mod tests {
 
     #[test]
     fn paper_headline_fractions_hold() {
-        let b = MassBudget::compute(
-            &ServerSpec::hpe_dl325_gen10(),
-            &SatelliteBus::starlink_v1(),
-        );
+        let b = MassBudget::compute(&ServerSpec::hpe_dl325_gen10(), &SatelliteBus::starlink_v1());
         // Paper: 6 % weight, 1 % volume.
-        assert!((b.mass_fraction - 0.06).abs() < 0.005, "{}", b.mass_fraction);
+        assert!(
+            (b.mass_fraction - 0.06).abs() < 0.005,
+            "{}",
+            b.mass_fraction
+        );
         assert!(
             (b.volume_fraction - 0.01).abs() < 0.003,
             "{}",
@@ -77,14 +78,9 @@ mod tests {
 
     #[test]
     fn low_power_server_halves_the_mass_hit() {
-        let big = MassBudget::compute(
-            &ServerSpec::hpe_dl325_gen10(),
-            &SatelliteBus::starlink_v1(),
-        );
-        let small = MassBudget::compute(
-            &ServerSpec::low_power_edge(),
-            &SatelliteBus::starlink_v1(),
-        );
+        let big = MassBudget::compute(&ServerSpec::hpe_dl325_gen10(), &SatelliteBus::starlink_v1());
+        let small =
+            MassBudget::compute(&ServerSpec::low_power_edge(), &SatelliteBus::starlink_v1());
         assert!(small.mass_fraction < big.mass_fraction * 0.6);
     }
 }

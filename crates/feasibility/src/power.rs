@@ -46,8 +46,8 @@ pub fn battery_wh_for_load(load_w: f64, altitude_m: f64) -> f64 {
     let f = eclipse_fraction(altitude_m, Angle::ZERO);
     // Orbital period from Kepler's third law.
     let a = leo_geo::consts::EARTH_RADIUS_MEAN_M + altitude_m;
-    let period_s = 2.0 * std::f64::consts::PI
-        * (a.powi(3) / leo_geo::consts::EARTH_MU_M3_S2).sqrt();
+    let period_s =
+        2.0 * std::f64::consts::PI * (a.powi(3) / leo_geo::consts::EARTH_MU_M3_S2).sqrt();
     load_w * (f * period_s) / 3600.0
 }
 
@@ -82,13 +82,18 @@ mod tests {
 
     #[test]
     fn paper_power_fractions_hold() {
-        let p = PowerBudget::compute(
-            &ServerSpec::hpe_dl325_gen10(),
-            &SatelliteBus::starlink_v1(),
-        );
+        let p = PowerBudget::compute(&ServerSpec::hpe_dl325_gen10(), &SatelliteBus::starlink_v1());
         // Paper: 15 % at 225 W, 23 % at 350 W.
-        assert!((p.typical_fraction - 0.15).abs() < 0.005, "{}", p.typical_fraction);
-        assert!((p.peak_fraction - 0.2333).abs() < 0.005, "{}", p.peak_fraction);
+        assert!(
+            (p.typical_fraction - 0.15).abs() < 0.005,
+            "{}",
+            p.typical_fraction
+        );
+        assert!(
+            (p.peak_fraction - 0.2333).abs() < 0.005,
+            "{}",
+            p.peak_fraction
+        );
     }
 
     #[test]

@@ -108,8 +108,7 @@ impl RadiationModel {
         } else {
             1.0
         };
-        let saa_weighted =
-            1.0 + saa_time_fraction * (self.saa_multiplier - 1.0);
+        let saa_weighted = 1.0 + saa_time_fraction * (self.saa_multiplier - 1.0);
         self.base_afr * belt * saa_weighted
     }
 }
@@ -141,19 +140,10 @@ mod tests {
     fn starlink_orbit_crosses_the_saa_a_few_percent_of_the_time() {
         // A 53°-inclined LEO orbit passes through the SAA ellipse on some
         // of its ground tracks: expect a small but nonzero fraction.
-        let e = KeplerianElements::circular(
-            550e3,
-            Angle::from_degrees(53.0),
-            Angle::ZERO,
-            Angle::ZERO,
-        );
+        let e =
+            KeplerianElements::circular(550e3, Angle::from_degrees(53.0), Angle::ZERO, Angle::ZERO);
         let p = Propagator::new(e, Epoch::J2000);
-        let f = saa_fraction(
-            |t| p.subpoint(t),
-            86_400.0,
-            30.0,
-            &SaaRegion::default(),
-        );
+        let f = saa_fraction(|t| p.subpoint(t), 86_400.0, 30.0, &SaaRegion::default());
         assert!((0.01..0.20).contains(&f), "SAA fraction {f}");
     }
 

@@ -173,12 +173,8 @@ mod tests {
     use leo_orbit::{KeplerianElements, Propagator};
 
     fn starlink_propagator() -> Propagator {
-        let e = KeplerianElements::circular(
-            550e3,
-            Angle::from_degrees(53.0),
-            Angle::ZERO,
-            Angle::ZERO,
-        );
+        let e =
+            KeplerianElements::circular(550e3, Angle::from_degrees(53.0), Angle::ZERO, Angle::ZERO);
         Propagator::new(e, Epoch::J2000)
     }
 

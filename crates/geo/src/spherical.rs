@@ -8,8 +8,7 @@ use crate::coords::Geodetic;
 pub fn central_angle(a: Geodetic, b: Geodetic) -> Angle {
     let dlat = (b.lat - a.lat).radians();
     let dlon = (b.lon - a.lon).radians();
-    let h = (dlat / 2.0).sin().powi(2)
-        + a.lat.cos() * b.lat.cos() * (dlon / 2.0).sin().powi(2);
+    let h = (dlat / 2.0).sin().powi(2) + a.lat.cos() * b.lat.cos() * (dlon / 2.0).sin().powi(2);
     Angle::from_radians(2.0 * h.sqrt().min(1.0).asin())
 }
 

@@ -32,7 +32,14 @@ impl Epoch {
     /// Creates an epoch from a calendar date/time (proleptic Gregorian, UT).
     ///
     /// Uses the Fliegel–Van Flandern algorithm; valid for years ≥ −4713.
-    pub fn from_calendar(year: i32, month: u32, day: u32, hour: u32, minute: u32, second: f64) -> Self {
+    pub fn from_calendar(
+        year: i32,
+        month: u32,
+        day: u32,
+        hour: u32,
+        minute: u32,
+        second: f64,
+    ) -> Self {
         let (y, m) = if month <= 2 {
             (year - 1, month + 12)
         } else {

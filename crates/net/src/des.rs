@@ -219,7 +219,10 @@ impl DesNetwork {
                 });
             }
         }
-        records.into_iter().map(|r| r.expect("transfer completed")).collect()
+        records
+            .into_iter()
+            .map(|r| r.expect("transfer completed"))
+            .collect()
     }
 }
 

@@ -69,7 +69,11 @@ pub fn predict_passes(
                 });
         }
         // Close passes that ended this step.
-        let ended: Vec<SatId> = open.keys().filter(|id| !seen.contains(id)).copied().collect();
+        let ended: Vec<SatId> = open
+            .keys()
+            .filter(|id| !seen.contains(id))
+            .copied()
+            .collect();
         for id in ended {
             done.push(open.remove(&id).expect("open pass"));
         }
@@ -149,11 +153,13 @@ mod tests {
         // must sit in the 10 s – 12 min band for the 550 km / 25° shell.
         let passes = passes_for(30.0, 10.0);
         assert!(passes.len() > 20, "only {} passes", passes.len());
-        for p in passes
-            .iter()
-            .filter(|p| p.rise_s > 0.0 && p.set_s < 3600.0)
-        {
-            assert!(p.duration_s() <= 720.0, "pass {} lasts {} s", p.sat, p.duration_s());
+        for p in passes.iter().filter(|p| p.rise_s > 0.0 && p.set_s < 3600.0) {
+            assert!(
+                p.duration_s() <= 720.0,
+                "pass {} lasts {} s",
+                p.sat,
+                p.duration_s()
+            );
         }
         let longest = passes.iter().map(|p| p.duration_s()).fold(0.0, f64::max);
         assert!(longest > 200.0, "longest pass only {longest} s");
@@ -161,10 +167,7 @@ mod tests {
 
     #[test]
     fn min_range_is_within_geometric_bounds() {
-        let max_range = leo_geo::look::max_slant_range_m(
-            550e3,
-            leo_geo::Angle::from_degrees(25.0),
-        );
+        let max_range = leo_geo::look::max_slant_range_m(550e3, leo_geo::Angle::from_degrees(25.0));
         for p in passes_for(0.0, 0.0) {
             assert!(p.min_range_m >= 550e3 - 1e3);
             assert!(p.min_range_m <= max_range + 1e3);
@@ -181,10 +184,7 @@ mod tests {
         for (sat, mut ps) in by_sat {
             ps.sort_by(|a, b| a.rise_s.total_cmp(&b.rise_s));
             for w in ps.windows(2) {
-                assert!(
-                    w[0].set_s < w[1].rise_s,
-                    "{sat}: overlapping passes"
-                );
+                assert!(w[0].set_s < w[1].rise_s, "{sat}: overlapping passes");
             }
         }
     }
@@ -209,9 +209,14 @@ mod tests {
         for s in &slots[..slots.len() - 1] {
             let pass = passes
                 .iter()
-                .find(|p| p.sat == s.sat && p.rise_s <= s.from_s + 1e-9 && p.set_s >= s.until_s - 1e-9)
+                .find(|p| {
+                    p.sat == s.sat && p.rise_s <= s.from_s + 1e-9 && p.set_s >= s.until_s - 1e-9
+                })
                 .expect("slot maps to a pass");
-            assert!((pass.set_s - s.until_s).abs() < 1e-9, "slot ends before its pass sets");
+            assert!(
+                (pass.set_s - s.until_s).abs() < 1e-9,
+                "slot ends before its pass sets"
+            );
         }
     }
 

@@ -1,0 +1,311 @@
+//! A per-snapshot spatial index for visibility queries.
+//!
+//! [`visible_sats`](crate::visibility::visible_sats) scans every satellite
+//! for every query. That is fine once, but the experiment sweeps
+//! (Figs 1–7) issue the same query for hundreds of ground points against
+//! the same instant, and the session runner issues one per user per tick.
+//! [`VisibilityIndex`] buckets the constellation by geocentric latitude,
+//! per shell, so a query only tests the satellites whose coverage cone can
+//! possibly reach the ground point's latitude.
+//!
+//! The pruning rule is exact, not approximate: a satellite at geocentric
+//! latitude `φ_s` covers a ground point at latitude `φ_g` only if the
+//! Earth-central angle between them is at most the shell's coverage
+//! central angle `λ` ([`look::coverage_central_angle`]), and the central
+//! angle is never smaller than the latitude difference, so
+//! `|φ_s − φ_g| > λ` proves invisibility. Candidates that survive the
+//! band filter go through the *same* slant-range and elevation tests as
+//! the brute-force scan, so the result is bit-for-bit identical (a
+//! property test in `tests/` pins this).
+
+use crate::visibility::VisibleSat;
+use leo_constellation::{Constellation, SatId, Snapshot};
+use leo_geo::look;
+use leo_geo::Ecef;
+
+/// Small angular guard (radians) absorbing floating-point error in the
+/// latitude computations; ~0.6 m on the ground, far below one band.
+const LAT_EPS_RAD: f64 = 1e-7;
+
+/// One shell's latitude-banded satellite bucket.
+#[derive(Debug, Clone)]
+struct ShellBands {
+    /// Exact distance bound: elevation ≥ ε ⟺ range ≤ this (circular shell).
+    max_range_m: f64,
+    /// The shell's minimum-elevation sine, for the dot-product test.
+    min_elevation: leo_geo::Angle,
+    /// Coverage central angle λ of the shell, radians.
+    central_angle_rad: f64,
+    /// Band width, radians. Bands partition `[-π/2, π/2]`.
+    band_rad: f64,
+    /// `band_offsets[b]..band_offsets[b+1]` indexes `entries` of band `b`.
+    band_offsets: Vec<u32>,
+    /// `(id, position)` grouped by band, ascending `SatId` within a band.
+    entries: Vec<(SatId, Ecef)>,
+}
+
+impl ShellBands {
+    fn band_of(&self, lat_rad: f64) -> usize {
+        let n = self.band_offsets.len() - 1;
+        let b = ((lat_rad + std::f64::consts::FRAC_PI_2) / self.band_rad) as usize;
+        b.min(n - 1)
+    }
+}
+
+/// Latitude-banded visibility index over one [`Snapshot`].
+///
+/// Build once per instant, query for many ground points:
+///
+/// ```
+/// use leo_constellation::presets::starlink_550_only;
+/// use leo_geo::Geodetic;
+/// use leo_net::index::VisibilityIndex;
+/// use leo_net::visibility::visible_sats;
+///
+/// let c = starlink_550_only();
+/// let snap = c.snapshot(0.0);
+/// let index = VisibilityIndex::build(&c, &snap);
+/// let g = Geodetic::ground(6.52, 3.38);
+/// let fast = index.query(g.to_ecef_spherical());
+/// let slow = visible_sats(&c, &snap, g, g.to_ecef_spherical());
+/// assert_eq!(fast, slow);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VisibilityIndex {
+    shells: Vec<ShellBands>,
+    num_satellites: usize,
+}
+
+impl VisibilityIndex {
+    /// Builds the index for `snapshot` of `constellation`. `O(N)` via a
+    /// counting sort into latitude bands.
+    pub fn build(constellation: &Constellation, snapshot: &Snapshot) -> VisibilityIndex {
+        let num_satellites = snapshot.len();
+        let mut shells: Vec<ShellBands> = constellation
+            .shells()
+            .iter()
+            .map(|s| {
+                let central = look::coverage_central_angle(s.altitude_m, s.min_elevation);
+                // Bands of ~λ/4 keep the scanned window tight (≈2λ + 2
+                // band widths) without thousands of mostly-empty bands.
+                let target = (central.radians() / 4.0).max(1e-3);
+                let n_bands = (std::f64::consts::PI / target).ceil().clamp(1.0, 4096.0) as usize;
+                ShellBands {
+                    max_range_m: look::max_slant_range_m(s.altitude_m, s.min_elevation),
+                    min_elevation: s.min_elevation,
+                    central_angle_rad: central.radians(),
+                    band_rad: std::f64::consts::PI / n_bands as f64,
+                    band_offsets: vec![0; n_bands + 1],
+                    entries: Vec::new(),
+                }
+            })
+            .collect();
+
+        // Counting sort per shell: count band occupancy, prefix-sum, place.
+        // Placement iterates satellites in `SatId` order, so each band's
+        // entries stay id-sorted (the query relies on this to return the
+        // exact order `visible_sats` produces).
+        let sat_band: Vec<(usize, usize)> = snapshot
+            .iter()
+            .map(|(id, pos)| {
+                let shell = constellation.satellite(id).shell as usize;
+                let band = shells[shell].band_of(geocentric_latitude(pos));
+                shells[shell].band_offsets[band + 1] += 1;
+                (shell, band)
+            })
+            .collect();
+        for sh in &mut shells {
+            for b in 1..sh.band_offsets.len() {
+                sh.band_offsets[b] += sh.band_offsets[b - 1];
+            }
+            sh.entries = vec![
+                (SatId(0), Ecef::new(0.0, 0.0, 0.0));
+                *sh.band_offsets.last().unwrap() as usize
+            ];
+        }
+        let mut cursor: Vec<Vec<u32>> = shells
+            .iter()
+            .map(|sh| sh.band_offsets[..sh.band_offsets.len() - 1].to_vec())
+            .collect();
+        for ((id, pos), &(shell, band)) in snapshot.iter().zip(&sat_band) {
+            let slot = cursor[shell][band] as usize;
+            shells[shell].entries[slot] = (id, pos);
+            cursor[shell][band] += 1;
+        }
+
+        VisibilityIndex {
+            shells,
+            num_satellites,
+        }
+    }
+
+    /// Number of satellites the snapshot held.
+    pub fn num_satellites(&self) -> usize {
+        self.num_satellites
+    }
+
+    /// All satellites visible from `ground_ecef` (spherical-model ECEF,
+    /// from [`leo_geo::Geodetic::to_ecef_spherical`]). Identical output —
+    /// order included — to [`crate::visibility::visible_sats`] over the
+    /// snapshot the index was built from.
+    pub fn query(&self, ground_ecef: Ecef) -> Vec<VisibleSat> {
+        let mut out = Vec::new();
+        self.for_each_visible(ground_ecef, |v| out.push(v));
+        // Bands (and shells) are scanned one after another, so ids come
+        // back interleaved; restore the global SatId order of the
+        // brute-force scan. The visible set is tiny, so this is cheap.
+        out.sort_unstable_by_key(|v| v.id.0);
+        out
+    }
+
+    /// Calls `f` for every satellite visible from `ground_ecef`, in
+    /// band-bucket order — ascending `SatId` only *within a band* (use
+    /// [`Self::query`] when global order matters). Avoids the `Vec` when
+    /// the caller only aggregates.
+    pub fn for_each_visible<F: FnMut(VisibleSat)>(&self, ground_ecef: Ecef, mut f: F) {
+        let glat = geocentric_latitude(ground_ecef);
+        for sh in &self.shells {
+            let reach = sh.central_angle_rad + LAT_EPS_RAD;
+            let lo = sh.band_of((glat - reach).max(-std::f64::consts::FRAC_PI_2));
+            let hi = sh.band_of((glat + reach).min(std::f64::consts::FRAC_PI_2));
+            let start = sh.band_offsets[lo] as usize;
+            let end = sh.band_offsets[hi + 1] as usize;
+            for &(id, pos) in &sh.entries[start..end] {
+                let range = ground_ecef.distance_m(pos);
+                if range <= sh.max_range_m
+                    && look::is_visible_spherical(ground_ecef, pos, sh.min_elevation)
+                {
+                    f(VisibleSat { id, range_m: range });
+                }
+            }
+        }
+    }
+
+    /// Indexed version of [`crate::visibility::coverage_mask`]: marks the
+    /// satellites visible from at least one of `grounds` (spherical-model
+    /// ECEF). Returns one boolean per satellite, indexed by `SatId.0`.
+    pub fn coverage_mask(&self, grounds: &[Ecef]) -> Vec<bool> {
+        let mut mask = vec![false; self.num_satellites];
+        self.mark_coverage(grounds, &mut mask);
+        mask
+    }
+
+    /// Ors the coverage of `grounds` into an existing mask — the
+    /// incremental form used when growing a ground-station set one site
+    /// at a time (Fig 4's top-N city sweep).
+    pub fn mark_coverage(&self, grounds: &[Ecef], mask: &mut [bool]) {
+        assert_eq!(mask.len(), self.num_satellites, "mask length");
+        for &ge in grounds {
+            self.for_each_visible(ge, |v| mask[v.id.0 as usize] = true);
+        }
+    }
+}
+
+/// Geocentric latitude (radians) of an ECEF position; 0 for the origin.
+fn geocentric_latitude(p: Ecef) -> f64 {
+    let r = p.0.norm();
+    if r == 0.0 {
+        return 0.0;
+    }
+    (p.0.z / r).clamp(-1.0, 1.0).asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visibility::{coverage_mask, visible_sats};
+    use leo_constellation::presets;
+    use leo_geo::Geodetic;
+
+    fn grounds() -> Vec<(Geodetic, Ecef)> {
+        [
+            (0.0, 0.0),
+            (6.52, 3.38),
+            (30.0, -100.0),
+            (-33.9, 18.4),
+            (53.0, 0.0),
+            (-52.9, 170.0),
+            (85.0, 10.0),
+            (-90.0, 0.0),
+        ]
+        .iter()
+        .map(|&(lat, lon)| {
+            let g = Geodetic::ground(lat, lon);
+            (g, g.to_ecef_spherical())
+        })
+        .collect()
+    }
+
+    #[test]
+    fn indexed_query_equals_brute_force_single_shell() {
+        let c = presets::starlink_550_only();
+        let snap = c.snapshot(137.0);
+        let index = VisibilityIndex::build(&c, &snap);
+        for (g, ge) in grounds() {
+            assert_eq!(index.query(ge), visible_sats(&c, &snap, g, ge), "at {g:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_query_equals_brute_force_multi_shell() {
+        // starlink_phase1 has five shells at three altitudes — the
+        // cross-shell SatId interleaving case.
+        let c = presets::starlink_phase1();
+        let snap = c.snapshot(1800.0);
+        let index = VisibilityIndex::build(&c, &snap);
+        for (g, ge) in grounds() {
+            assert_eq!(index.query(ge), visible_sats(&c, &snap, g, ge), "at {g:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_coverage_mask_equals_brute_force() {
+        let c = presets::kuiper();
+        let snap = c.snapshot(300.0);
+        let index = VisibilityIndex::build(&c, &snap);
+        let gs = grounds();
+        let ecefs: Vec<Ecef> = gs.iter().map(|&(_, e)| e).collect();
+        assert_eq!(index.coverage_mask(&ecefs), coverage_mask(&c, &snap, &gs));
+    }
+
+    #[test]
+    fn incremental_coverage_equals_batch() {
+        let c = presets::starlink_550_only();
+        let snap = c.snapshot(0.0);
+        let index = VisibilityIndex::build(&c, &snap);
+        let ecefs: Vec<Ecef> = grounds().iter().map(|&(_, e)| e).collect();
+        let mut mask = vec![false; index.num_satellites()];
+        for ge in &ecefs {
+            index.mark_coverage(std::slice::from_ref(ge), &mut mask);
+        }
+        assert_eq!(mask, index.coverage_mask(&ecefs));
+    }
+
+    #[test]
+    fn index_prunes_most_of_the_constellation() {
+        // The point of the exercise: the candidate window is a small
+        // fraction of the shell. Count candidates via band offsets.
+        let c = presets::starlink_550_only();
+        let snap = c.snapshot(0.0);
+        let index = VisibilityIndex::build(&c, &snap);
+        let sh = &index.shells[0];
+        let glat = 0.0f64;
+        let reach = sh.central_angle_rad + LAT_EPS_RAD;
+        let lo = sh.band_of(glat - reach);
+        let hi = sh.band_of(glat + reach);
+        let candidates = (sh.band_offsets[hi + 1] - sh.band_offsets[lo]) as usize;
+        assert!(
+            candidates * 3 < snap.len(),
+            "candidates {candidates} of {} — index prunes nothing",
+            snap.len()
+        );
+    }
+
+    #[test]
+    fn empty_constellation_yields_empty_index() {
+        let c = presets::starlink_550_only();
+        let snap = c.snapshot(0.0);
+        let index = VisibilityIndex::build(&c, &snap);
+        assert_eq!(index.num_satellites(), snap.len());
+    }
+}

@@ -85,11 +85,8 @@ impl IslTopology {
             for plane in 0..shell.num_planes {
                 for slot in 0..shell.sats_per_plane {
                     let here = constellation.id_at(shell_idx, plane, slot);
-                    let next = constellation.id_at(
-                        shell_idx,
-                        plane,
-                        (slot + 1) % shell.sats_per_plane,
-                    );
+                    let next =
+                        constellation.id_at(shell_idx, plane, (slot + 1) % shell.sats_per_plane);
                     edges.push(IslEdge::new(here, next));
                 }
             }
@@ -119,10 +116,7 @@ impl IslTopology {
     }
 
     /// +Grid with an explicit grazing altitude for the line-of-sight rule.
-    pub fn plus_grid_with_grazing(
-        constellation: &Constellation,
-        grazing_altitude_m: f64,
-    ) -> Self {
+    pub fn plus_grid_with_grazing(constellation: &Constellation, grazing_altitude_m: f64) -> Self {
         // Within a shell every satellite shares the same semi-major axis,
         // eccentricity, and inclination, so the shell's relative geometry
         // is rigid over time: the nearest adjacent-plane neighbor at the
@@ -206,8 +200,7 @@ impl IslTopology {
             .filter_map(|&e| {
                 let pa = snapshot.position(e.a);
                 let pb = snapshot.position(e.b);
-                line_of_sight_clear(pa, pb, self.grazing_altitude_m)
-                    .then(|| (e, pa.distance_m(pb)))
+                line_of_sight_clear(pa, pb, self.grazing_altitude_m).then(|| (e, pa.distance_m(pb)))
             })
             .collect()
     }

@@ -6,6 +6,10 @@
 //! * [`visibility`] — which satellites a ground point can reach at an
 //!   instant, under each shell's minimum-elevation rule, with slant ranges
 //!   and RTTs ([`visibility::VisibleSat`]).
+//! * [`index`] — a latitude-banded spatial index over one snapshot
+//!   ([`index::VisibilityIndex`]) answering the same queries by testing
+//!   only the satellites whose coverage cone can reach the ground
+//!   point's latitude; exact, not approximate.
 //! * [`isl`] — the +Grid inter-satellite-link topology (intra-plane ring +
 //!   nearest neighbor in each adjacent plane) with an Earth-occlusion
 //!   check, plus link lengths at any time.
@@ -31,6 +35,7 @@
 pub mod des;
 pub mod graph;
 pub mod handover;
+pub mod index;
 pub mod isl;
 pub mod packet;
 pub mod routing;
@@ -38,5 +43,6 @@ pub mod visibility;
 pub mod weather;
 
 pub use graph::{NetworkGraph, NodeId, Path};
+pub use index::VisibilityIndex;
 pub use isl::IslTopology;
 pub use visibility::{visible_sats, VisibleSat};

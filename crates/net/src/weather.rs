@@ -103,10 +103,14 @@ pub struct LinkBudget {
 
 impl LinkBudget {
     /// A consumer-terminal budget (8 dB margin).
-    pub const CONSUMER: LinkBudget = LinkBudget { fade_margin_db: 8.0 };
+    pub const CONSUMER: LinkBudget = LinkBudget {
+        fade_margin_db: 8.0,
+    };
     /// A gateway-class budget (16 dB margin, larger dishes + uplink
     /// power control).
-    pub const GATEWAY: LinkBudget = LinkBudget { fade_margin_db: 16.0 };
+    pub const GATEWAY: LinkBudget = LinkBudget {
+        fade_margin_db: 16.0,
+    };
 
     /// True when the link survives the given rain rate at the given
     /// elevation.
@@ -148,11 +152,7 @@ impl LinkBudget {
 /// elevations) has a working link. Rain is common-mode at one site, so
 /// the *deepest* fade (lowest elevation requirement) dominates: we take
 /// the best single link.
-pub fn site_availability(
-    budget: &LinkBudget,
-    climate: &RainClimate,
-    elevations: &[Angle],
-) -> f64 {
+pub fn site_availability(budget: &LinkBudget, climate: &RainClimate, elevations: &[Angle]) -> f64 {
     elevations
         .iter()
         .map(|&e| budget.availability(e, climate))
@@ -239,7 +239,10 @@ mod tests {
         let low = Angle::from_degrees(25.0);
         let high = Angle::from_degrees(75.0);
         let combined = site_availability(&b, &c, &[low, high]);
-        assert_eq!(combined, b.availability(high, &c).max(b.availability(low, &c)));
+        assert_eq!(
+            combined,
+            b.availability(high, &c).max(b.availability(low, &c))
+        );
         assert!(combined >= b.availability(low, &c));
     }
 

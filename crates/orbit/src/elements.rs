@@ -90,7 +90,9 @@ impl KeplerianElements {
             return Err(ElementsError::SemiMajorAxis(self.semi_major_axis_m));
         }
         if self.perigee_altitude_m() < 0.0 {
-            return Err(ElementsError::PerigeeBelowSurface(self.perigee_altitude_m()));
+            return Err(ElementsError::PerigeeBelowSurface(
+                self.perigee_altitude_m(),
+            ));
         }
         Ok(())
     }
@@ -129,12 +131,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn starlink_550() -> KeplerianElements {
-        KeplerianElements::circular(
-            550e3,
-            Angle::from_degrees(53.0),
-            Angle::ZERO,
-            Angle::ZERO,
-        )
+        KeplerianElements::circular(550e3, Angle::from_degrees(53.0), Angle::ZERO, Angle::ZERO)
     }
 
     #[test]

@@ -187,10 +187,7 @@ mod tests {
         let e0 = specific_energy(&s0);
         let s1 = rk4.propagate(s0, 7200.0);
         let e1 = specific_energy(&s1);
-        assert!(
-            ((e1 - e0) / e0).abs() < 1e-9,
-            "energy drift {e0} -> {e1}"
-        );
+        assert!(((e1 - e0) / e0).abs() < 1e-9, "energy drift {e0} -> {e1}");
     }
 
     #[test]

@@ -87,8 +87,7 @@ mod tests {
             assert!((e_anom.radians() - ma.normalized_signed().radians()).abs() < 1e-12);
             let nu = true_anomaly_from_eccentric(e_anom, 0.0);
             assert!(
-                (nu.normalized_signed().radians() - ma.normalized_signed().radians()).abs()
-                    < 1e-12
+                (nu.normalized_signed().radians() - ma.normalized_signed().radians()).abs() < 1e-12
             );
         }
     }

@@ -88,11 +88,7 @@ impl Propagator {
     }
 
     /// Creates a propagator with an explicit force model.
-    pub fn with_force_model(
-        elements: KeplerianElements,
-        epoch: Epoch,
-        model: ForceModel,
-    ) -> Self {
+    pub fn with_force_model(elements: KeplerianElements, epoch: Epoch, model: ForceModel) -> Self {
         let rates = match model {
             ForceModel::TwoBodyJ2 => J2Rates::for_elements(&elements),
             ForceModel::TwoBody => J2Rates::ZERO,
@@ -142,7 +138,11 @@ impl Propagator {
         let p = e.semi_latus_rectum_m();
         let pos_pf = Vec3::new(r * cnu, r * snu, 0.0);
         let h = (EARTH_MU_M3_S2 * p).sqrt();
-        let vel_pf = Vec3::new(-EARTH_MU_M3_S2 / h * snu, EARTH_MU_M3_S2 / h * (ecc + cnu), 0.0);
+        let vel_pf = Vec3::new(
+            -EARTH_MU_M3_S2 / h * snu,
+            EARTH_MU_M3_S2 / h * (ecc + cnu),
+            0.0,
+        );
 
         // Perifocal → ECI: Rz(raan) · Rx(incl) · Rz(argp).
         let rot = |v: Vec3| {
@@ -222,12 +222,8 @@ mod tests {
 
     #[test]
     fn two_body_orbit_returns_after_one_period() {
-        let e = KeplerianElements::circular(
-            550e3,
-            Angle::from_degrees(53.0),
-            Angle::ZERO,
-            Angle::ZERO,
-        );
+        let e =
+            KeplerianElements::circular(550e3, Angle::from_degrees(53.0), Angle::ZERO, Angle::ZERO);
         let p = Propagator::with_force_model(e, Epoch::J2000, ForceModel::TwoBody);
         let period = e.period_s();
         let d = p.position_eci(0.0).0.distance(p.position_eci(period).0);
@@ -262,12 +258,8 @@ mod tests {
 
     #[test]
     fn polar_orbit_has_no_nodal_regression() {
-        let e = KeplerianElements::circular(
-            550e3,
-            Angle::from_degrees(90.0),
-            Angle::ZERO,
-            Angle::ZERO,
-        );
+        let e =
+            KeplerianElements::circular(550e3, Angle::from_degrees(90.0), Angle::ZERO, Angle::ZERO);
         let rates = J2Rates::for_elements(&e);
         assert!(rates.raan_dot.abs() < 1e-12);
     }
@@ -286,18 +278,17 @@ mod tests {
 
     #[test]
     fn j2_and_two_body_agree_at_epoch_and_diverge_slowly() {
-        let e = KeplerianElements::circular(
-            550e3,
-            Angle::from_degrees(53.0),
-            Angle::ZERO,
-            Angle::ZERO,
-        );
+        let e =
+            KeplerianElements::circular(550e3, Angle::from_degrees(53.0), Angle::ZERO, Angle::ZERO);
         let pj2 = Propagator::new(e, Epoch::J2000);
         let p2b = Propagator::with_force_model(e, Epoch::J2000, ForceModel::TwoBody);
         assert!(pj2.position_eci(0.0).0.distance(p2b.position_eci(0.0).0) < 1e-6);
         // After 2 hours (the paper's horizon) the along-track difference
         // stays within tens of km — bounded and predictable.
-        let d = pj2.position_eci(7200.0).0.distance(p2b.position_eci(7200.0).0);
+        let d = pj2
+            .position_eci(7200.0)
+            .0
+            .distance(p2b.position_eci(7200.0).0);
         assert!(d < 60_000.0, "2-hour J2 divergence {d} m");
     }
 

@@ -123,11 +123,19 @@ pub fn line_checksum(line: &str) -> u8 {
     (sum % 10) as u8
 }
 
-fn field<T: std::str::FromStr>(line: &str, range: std::ops::Range<usize>, l: u8, name: &'static str) -> Result<T, TleError> {
+fn field<T: std::str::FromStr>(
+    line: &str,
+    range: std::ops::Range<usize>,
+    l: u8,
+    name: &'static str,
+) -> Result<T, TleError> {
     line.get(range)
         .map(str::trim)
         .and_then(|s| s.parse().ok())
-        .ok_or(TleError::Field { line: l, field: name })
+        .ok_or(TleError::Field {
+            line: l,
+            field: name,
+        })
 }
 
 /// Parses the TLE's `YYDDD.DDDDDDDD` epoch into an [`Epoch`].
@@ -172,7 +180,10 @@ impl Tle {
         };
         for (idx, l) in [(1u8, l1), (2u8, l2)] {
             if l.len() < 69 {
-                return Err(TleError::LineTooShort { line: idx, len: l.len() });
+                return Err(TleError::LineTooShort {
+                    line: idx,
+                    len: l.len(),
+                });
             }
             if !l.starts_with(&idx.to_string()) {
                 return Err(TleError::BadLineNumber { line: idx });
@@ -180,7 +191,11 @@ impl Tle {
             let computed = line_checksum(l);
             let found = l.as_bytes()[68].wrapping_sub(b'0');
             if computed != found {
-                return Err(TleError::Checksum { line: idx, computed, found });
+                return Err(TleError::Checksum {
+                    line: idx,
+                    computed,
+                    found,
+                });
             }
         }
 
@@ -196,19 +211,25 @@ impl Tle {
             let s = l1.get(33..43).unwrap_or("").trim();
             // Format like " .00001589" or "-.00001589".
             let normalized = s.replace(" .", "0.").replace("-.", "-0.");
-            normalized
-                .parse()
-                .map_err(|_| TleError::Field { line: 1, field: "mean motion dot" })?
+            normalized.parse().map_err(|_| TleError::Field {
+                line: 1,
+                field: "mean motion dot",
+            })?
         };
-        let bstar = parse_exponential(l1.get(53..61).unwrap_or(""))
-            .ok_or(TleError::Field { line: 1, field: "bstar" })?;
+        let bstar = parse_exponential(l1.get(53..61).unwrap_or("")).ok_or(TleError::Field {
+            line: 1,
+            field: "bstar",
+        })?;
 
         let inclination: f64 = field(l2, 8..16, 2, "inclination")?;
         let raan: f64 = field(l2, 17..25, 2, "raan")?;
         let ecc_str = l2.get(26..33).unwrap_or("").trim();
         let eccentricity: f64 = format!("0.{ecc_str}")
             .parse()
-            .map_err(|_| TleError::Field { line: 2, field: "eccentricity" })?;
+            .map_err(|_| TleError::Field {
+                line: 2,
+                field: "eccentricity",
+            })?;
         let arg_perigee: f64 = field(l2, 34..42, 2, "argument of perigee")?;
         let mean_anomaly: f64 = field(l2, 43..51, 2, "mean anomaly")?;
         let mean_motion_rev_day: f64 = field(l2, 52..63, 2, "mean motion")?;

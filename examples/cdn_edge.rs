@@ -15,10 +15,11 @@ fn main() {
         .collect();
 
     // Edge latency from places with and without nearby infrastructure.
+    println!("edge RTT, terrestrial (fiber ×{TERRESTRIAL_PATH_STRETCH} stretch) vs in-orbit:\n");
     println!(
-        "edge RTT, terrestrial (fiber ×{TERRESTRIAL_PATH_STRETCH} stretch) vs in-orbit:\n"
+        "{:<26} {:>14} {:>12} {:>8}",
+        "location", "terrestrial", "in-orbit", "winner"
     );
-    println!("{:<26} {:>14} {:>12} {:>8}", "location", "terrestrial", "in-orbit", "winner");
     for (name, lat, lon) in [
         ("Amsterdam (at a DC)", 52.37, 4.90),
         ("Lagos, Nigeria", 6.52, 3.38),
@@ -42,7 +43,10 @@ fn main() {
     println!("\ncontent cache across satellite hand-offs (Lagos region, 20 min):");
     let region = Geodetic::ground(6.52, 3.38);
     let service550 = InOrbitService::new(starlink_550_only());
-    for policy in [CacheHandoffPolicy::ColdStart, CacheHandoffPolicy::WarmHandoff] {
+    for policy in [
+        CacheHandoffPolicy::ColdStart,
+        CacheHandoffPolicy::WarmHandoff,
+    ] {
         let result = simulate_cdn(
             &service550,
             region,

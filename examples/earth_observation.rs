@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release --example earth_observation`
 
-use in_orbit::apps::spacenative::{
-    cooperative_makespan_s, invisible_count, SensingPipeline,
-};
+use in_orbit::apps::spacenative::{cooperative_makespan_s, invisible_count, SensingPipeline};
 use in_orbit::cities::WorldCities;
 use in_orbit::prelude::*;
 

@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example feasibility_report`
 
 use in_orbit::feasibility::cost::CostModel;
-use in_orbit::feasibility::power::{
-    battery_wh_for_load, generation_w_for_load, radiator_area_m2,
-};
+use in_orbit::feasibility::power::{battery_wh_for_load, generation_w_for_load, radiator_area_m2};
 use in_orbit::feasibility::reliability::ReliabilityParams;
 use in_orbit::feasibility::{MassBudget, PowerBudget, SatelliteBus, ServerSpec};
 
@@ -15,13 +13,27 @@ fn main() {
     let server = ServerSpec::hpe_dl325_gen10();
     let bus = SatelliteBus::starlink_v1();
 
-    println!("server : {} ({} cores, {:.1} kg)", server.name, server.cores, server.mass_kg);
-    println!("bus    : {} ({:.0} kg, {:.1} kW avg solar)\n", bus.name, bus.mass_kg, bus.avg_solar_power_w / 1e3);
+    println!(
+        "server : {} ({} cores, {:.1} kg)",
+        server.name, server.cores, server.mass_kg
+    );
+    println!(
+        "bus    : {} ({:.0} kg, {:.1} kW avg solar)\n",
+        bus.name,
+        bus.mass_kg,
+        bus.avg_solar_power_w / 1e3
+    );
 
     let mass = MassBudget::compute(&server, &bus);
     println!("mass/volume:");
-    println!("  weight fraction : {:.1} %  (paper: 6 %)", mass.mass_fraction * 100.0);
-    println!("  volume fraction : {:.1} %  (paper: 1 %)", mass.volume_fraction * 100.0);
+    println!(
+        "  weight fraction : {:.1} %  (paper: 6 %)",
+        mass.mass_fraction * 100.0
+    );
+    println!(
+        "  volume fraction : {:.1} %  (paper: 1 %)",
+        mass.volume_fraction * 100.0
+    );
     let (without, with) = MassBudget::satellites_per_launch(&server, &bus, 15_600.0);
     println!("  per-launch      : {without} satellites bare, {with} with servers\n");
 
@@ -61,9 +73,18 @@ fn main() {
 
     let cost = CostModel::default().compare(&server);
     println!("\ncost:");
-    println!("  launch cost       : {:>10.0} USD (paper: ~42,000)", cost.launch_cost_usd);
-    println!("  terrestrial 3y TCO: {:>10.0} USD", cost.terrestrial_cost_usd);
-    println!("  ratio             : {:>10.1} ×  (paper: ~3×)", cost.cost_ratio);
+    println!(
+        "  launch cost       : {:>10.0} USD (paper: ~42,000)",
+        cost.launch_cost_usd
+    );
+    println!(
+        "  terrestrial 3y TCO: {:>10.0} USD",
+        cost.terrestrial_cost_usd
+    );
+    println!(
+        "  ratio             : {:>10.1} ×  (paper: ~3×)",
+        cost.cost_ratio
+    );
     println!(
         "  fleet (4,409 sats): {:>10.1} M USD",
         CostModel::default().fleet_launch_cost_usd(&server, 4409) / 1e6

@@ -6,11 +6,7 @@
 use in_orbit::core::meetup::{azure_sites, compare};
 use in_orbit::prelude::*;
 
-fn scenario(
-    title: &str,
-    service: &InOrbitService,
-    users: &[(&str, f64, f64)],
-) {
+fn scenario(title: &str, service: &InOrbitService, users: &[(&str, f64, f64)]) {
     println!("── {title} ── ({})", service.constellation().name());
     let endpoints: Vec<GroundEndpoint> = users
         .iter()
@@ -23,9 +19,18 @@ fn scenario(
     let sites = azure_sites();
     match compare(service, &endpoints, &sites, 0.0) {
         Some(cmp) => {
-            println!("  best terrestrial meetup : {} at {:.1} ms group RTT", cmp.best_site, cmp.hybrid_rtt_ms);
-            println!("  best in-orbit meetup    : {} at {:.1} ms group RTT", cmp.in_orbit_server, cmp.in_orbit_rtt_ms);
-            println!("  improvement             : {:.1}×\n", cmp.improvement_factor());
+            println!(
+                "  best terrestrial meetup : {} at {:.1} ms group RTT",
+                cmp.best_site, cmp.hybrid_rtt_ms
+            );
+            println!(
+                "  best in-orbit meetup    : {} at {:.1} ms group RTT",
+                cmp.in_orbit_server, cmp.in_orbit_rtt_ms
+            );
+            println!(
+                "  improvement             : {:.1}×\n",
+                cmp.improvement_factor()
+            );
         }
         None => println!("  group not servable at this instant\n"),
     }

@@ -23,14 +23,20 @@ fn main() {
         ("South Pacific (mid-ocean)", -30.0, -130.0),
         ("Longyearbyen, Svalbard", 78.22, 15.65),
     ];
-    println!("{:<28} {:>8} {:>12} {:>12}", "location", "servers", "nearest RTT", "farthest RTT");
+    println!(
+        "{:<28} {:>8} {:>12} {:>12}",
+        "location", "servers", "nearest RTT", "farthest RTT"
+    );
     for (name, lat, lon) in places {
         let servers = service.reachable_servers(Geodetic::ground(lat, lon), 0.0);
         if servers.is_empty() {
             println!("{name:<28} {:>8} {:>12} {:>12}", 0, "-", "-");
             continue;
         }
-        let nearest = servers.iter().map(|v| v.rtt_ms()).fold(f64::INFINITY, f64::min);
+        let nearest = servers
+            .iter()
+            .map(|v| v.rtt_ms())
+            .fold(f64::INFINITY, f64::min);
         let farthest = servers.iter().map(|v| v.rtt_ms()).fold(0.0, f64::max);
         println!(
             "{name:<28} {:>8} {:>9.2} ms {:>9.2} ms",

@@ -9,13 +9,12 @@ use in_orbit::net::des::Link;
 use in_orbit::prelude::*;
 
 fn main() {
-    let service = InOrbitService::new(
-        in_orbit::constellation::presets::starlink_phase1_conservative(),
-    );
+    let service =
+        InOrbitService::new(in_orbit::constellation::presets::starlink_phase1_conservative());
     let users = vec![
-        GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)),  // Abuja
+        GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)), // Abuja
         GroundEndpoint::new(1, Geodetic::ground(3.87, 11.52)), // Yaoundé
-        GroundEndpoint::new(2, Geodetic::ground(6.52, 3.38)),  // Lagos
+        GroundEndpoint::new(2, Geodetic::ground(6.52, 3.38)), // Lagos
     ];
 
     // Predict the next 30 minutes of Sticky meetup-servers.
@@ -56,7 +55,13 @@ fn main() {
     let links = [Link::new(100e9, 0.003)];
     let (with, without) = plan.handoff_times_s(&links);
     println!("\nhand-off critical path (100 Gbps ISL):");
-    println!("  migrate everything at hand-off : {:>8.1} ms", without * 1e3);
+    println!(
+        "  migrate everything at hand-off : {:>8.1} ms",
+        without * 1e3
+    );
     println!("  with ahead-of-time replication : {:>8.1} ms", with * 1e3);
-    println!("  feasible within the lead time  : {}", plan.prefetches_feasible(&links));
+    println!(
+        "  feasible within the lead time  : {}",
+        plan.prefetches_feasible(&links)
+    );
 }

@@ -9,9 +9,9 @@ use in_orbit::prelude::*;
 fn main() {
     let service = InOrbitService::new(starlink_550_only());
     let users = vec![
-        GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)),  // Abuja
+        GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)), // Abuja
         GroundEndpoint::new(1, Geodetic::ground(3.87, 11.52)), // Yaoundé
-        GroundEndpoint::new(2, Geodetic::ground(6.52, 3.38)),  // Lagos
+        GroundEndpoint::new(2, Geodetic::ground(6.52, 3.38)), // Lagos
     ];
     let config = SessionConfig {
         start_s: 0.0,
@@ -19,7 +19,10 @@ fn main() {
         tick_s: 5.0,
     };
 
-    println!("one-hour session, 3 users in West Africa, {}\n", service.constellation().name());
+    println!(
+        "one-hour session, 3 users in West Africa, {}\n",
+        service.constellation().name()
+    );
     for policy in [Policy::MinMax, Policy::sticky_default()] {
         let r = run_session(&service, &users, policy, &config);
         let intervals = r.handoff_interval_cdf();

@@ -17,6 +17,7 @@
 //! | [`core`] | `leo-core` | The paper's contribution: in-orbit compute service, MinMax/Sticky selection, virtual stationarity |
 //! | [`feasibility`] | `leo-feasibility` | §4 mass/power/thermal/reliability/cost models |
 //! | [`apps`] | `leo-apps` | Edge/CDN, multi-user QoE, Earth-observation models |
+//! | [`sim`] | `leo-sim` | Parallel time-sweep engine over cached snapshot views |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use leo_feasibility as feasibility;
 pub use leo_geo as geo;
 pub use leo_net as net;
 pub use leo_orbit as orbit;
+pub use leo_sim as sim;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -58,4 +60,5 @@ pub mod prelude {
     pub use leo_net::routing::GroundEndpoint;
     pub use leo_net::{IslTopology, NetworkGraph};
     pub use leo_orbit::{KeplerianElements, Propagator, Tle};
+    pub use leo_sim::TimeSweep;
 }

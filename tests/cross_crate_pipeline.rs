@@ -13,14 +13,22 @@ fn tle_export_reimport_preserves_constellation_geometry() {
     // agree (the TLE format quantizes mean motion; tolerate km-level).
     let original = starlink_550_only();
     let tles = original.to_tles();
-    for (tle, sat) in tles.iter().step_by(97).zip(original.satellites().iter().step_by(97)) {
+    for (tle, sat) in tles
+        .iter()
+        .step_by(97)
+        .zip(original.satellites().iter().step_by(97))
+    {
         let parsed = Tle::parse(&tle.format()).expect("round-trip");
         let reprop = Propagator::new(parsed.elements, parsed.epoch);
         let d = reprop
             .position_eci(0.0)
             .0
             .distance(sat.propagator.position_eci(0.0).0);
-        assert!(d < 20_000.0, "sat {}: {d} m drift after TLE round-trip", sat.id);
+        assert!(
+            d < 20_000.0,
+            "sat {}: {d} m drift after TLE round-trip",
+            sat.id
+        );
     }
 }
 
@@ -31,7 +39,7 @@ fn ground_paths_obey_physical_lower_bounds() {
     let topo = IslTopology::plus_grid(&constellation);
     let snap = constellation.snapshot(0.0);
     let pairs = [
-        ((51.51, -0.13), (40.71, -74.01)),  // London - New York
+        ((51.51, -0.13), (40.71, -74.01)),   // London - New York
         ((35.68, 139.69), (-33.87, 151.21)), // Tokyo - Sydney
         ((9.06, 7.49), (3.87, 11.52)),       // Abuja - Yaoundé
     ];

@@ -24,7 +24,14 @@ fn replication_plan_fits_inside_sticky_serving_intervals() {
         GroundEndpoint::new(1, Geodetic::ground(3.87, 11.52)),
         GroundEndpoint::new(2, Geodetic::ground(6.52, 3.38)),
     ];
-    let intervals = predict_servers(&service, &users, Policy::sticky_default(), 0.0, 1200.0, 10.0);
+    let intervals = predict_servers(
+        &service,
+        &users,
+        Policy::sticky_default(),
+        0.0,
+        1200.0,
+        10.0,
+    );
     assert!(intervals.len() >= 2, "need at least one hand-off");
     let plan = ReplicationPlan::build(
         intervals,
@@ -49,11 +56,7 @@ fn handover_schedule_matches_session_scale_hold_times() {
     let passes = predict_passes(&c, Geodetic::ground(6.5, 3.4), 0.0, 3600.0, 10.0);
     let slots = handover_schedule(&passes, 0.0, 3600.0);
     assert!(slots.len() >= 5);
-    let mean_hold = slots
-        .iter()
-        .map(|s| s.until_s - s.from_s)
-        .sum::<f64>()
-        / slots.len() as f64;
+    let mean_hold = slots.iter().map(|s| s.until_s - s.from_s).sum::<f64>() / slots.len() as f64;
     assert!(
         (60.0..500.0).contains(&mean_hold),
         "mean hold {mean_hold} s"

@@ -74,7 +74,11 @@ fn fig3_west_africa_meetup_improvement() {
     // EXPERIMENTS.md for the absolute-number discussion).
     let service = InOrbitService::new(starlink_phase1());
     let cmp = compare(&service, &west_africa(), &azure_sites(), 0.0).expect("served");
-    assert!(cmp.improvement_factor() >= 2.0, "{}", cmp.improvement_factor());
+    assert!(
+        cmp.improvement_factor() >= 2.0,
+        "{}",
+        cmp.improvement_factor()
+    );
     assert!(cmp.in_orbit_rtt_ms < 22.0);
 }
 
@@ -129,8 +133,7 @@ fn fig6_sticky_reduces_handoffs_substantially() {
     };
     let users = west_africa();
     let mm = in_orbit::core::session::run_session(&service, &users, Policy::MinMax, &cfg);
-    let st =
-        in_orbit::core::session::run_session(&service, &users, Policy::sticky_default(), &cfg);
+    let st = in_orbit::core::session::run_session(&service, &users, Policy::sticky_default(), &cfg);
     assert!(st.handoff_count() < mm.handoff_count());
     let (m1, m2) = (
         mm.handoff_interval_cdf().median().unwrap_or(0.0),
@@ -156,12 +159,19 @@ fn fig7_transfer_latencies_are_low_for_both_policies() {
     };
     let users = west_africa();
     let mm = in_orbit::core::session::run_session(&service, &users, Policy::MinMax, &cfg);
-    let st =
-        in_orbit::core::session::run_session(&service, &users, Policy::sticky_default(), &cfg);
+    let st = in_orbit::core::session::run_session(&service, &users, Policy::sticky_default(), &cfg);
     let mm_cdf = mm.transfer_latency_cdf();
     let st_cdf = st.transfer_latency_cdf();
-    assert!(mm_cdf.median().unwrap() < 20.0, "MinMax median {:?}", mm_cdf.median());
-    assert!(st_cdf.median().unwrap() < 20.0, "Sticky median {:?}", st_cdf.median());
+    assert!(
+        mm_cdf.median().unwrap() < 20.0,
+        "MinMax median {:?}",
+        mm_cdf.median()
+    );
+    assert!(
+        st_cdf.median().unwrap() < 20.0,
+        "Sticky median {:?}",
+        st_cdf.median()
+    );
     // Sticky's tail is no worse than MinMax's.
     assert!(
         st_cdf.quantile(0.9).unwrap() <= mm_cdf.quantile(0.9).unwrap() + 2.0,

@@ -2,8 +2,8 @@
 //! persists every result as JSON and exports constellations as TLEs, so
 //! the public types must survive those round-trips losslessly.
 
-use in_orbit::core::session::{HandoffEvent, SessionResult};
 use in_orbit::core::access::AccessStats;
+use in_orbit::core::session::{HandoffEvent, SessionResult};
 use in_orbit::net::weather::RainClimate;
 use in_orbit::prelude::*;
 
@@ -80,7 +80,11 @@ fn access_stats_round_trip_including_the_unserved_case() {
 
 #[test]
 fn weather_climates_round_trip_via_json() {
-    for c in [RainClimate::TROPICAL, RainClimate::TEMPERATE, RainClimate::ARID] {
+    for c in [
+        RainClimate::TROPICAL,
+        RainClimate::TEMPERATE,
+        RainClimate::ARID,
+    ] {
         assert_eq!(json_roundtrip(&c), c);
     }
 }
@@ -98,11 +102,7 @@ fn whole_constellation_survives_tle_text_export() {
     // A realistic persistence path: dump a constellation to TLE text,
     // read it back line-by-line, verify the count and a sample satellite.
     let c = kuiper();
-    let text: String = c
-        .to_tles()
-        .iter()
-        .map(|t| t.format() + "\n")
-        .collect();
+    let text: String = c.to_tles().iter().map(|t| t.format() + "\n").collect();
     let mut parsed = 0;
     let lines: Vec<&str> = text.lines().collect();
     let mut i = 0;

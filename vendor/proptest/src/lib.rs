@@ -1,0 +1,453 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the API the workspace's property tests use:
+//! the `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! range and tuple strategies, `prop_map`, `Just`, a printable-string
+//! strategy for `&str` patterns, and `proptest::collection::vec`.
+//!
+//! Sampling is plain pseudo-random (xorshift64*) rather than the real
+//! crate's guided generation, and failing cases are reported without
+//! shrinking. Seeds derive from the test name, so runs are deterministic;
+//! set `PROPTEST_CASES` to change the per-test case count (default 64).
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values for one test input.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    debug_assert!(self.start < self.end);
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() - *self.start()) as u64 + 1;
+                    self.start() + (rng.next_u64() % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// String-pattern strategy: real proptest interprets the string as a
+    /// regex. This facade generates printable ASCII with a length drawn
+    /// from a trailing `{min,max}` repetition bound when one is present
+    /// (e.g. `"\\PC{0,200}"`), defaulting to `{0,64}`.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (min, max) = parse_repeat_bounds(self).unwrap_or((0, 64));
+            let len = min + (rng.next_u64() as usize) % (max - min + 1);
+            (0..len)
+                .map(|_| (32 + (rng.next_u64() % 95) as u8) as char)
+                .collect()
+        }
+    }
+
+    fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+        let body = pattern.strip_suffix('}')?;
+        let open = body.rfind('{')?;
+        let (min_s, max_s) = body[open + 1..].split_once(',')?;
+        let min = min_s.trim().parse().ok()?;
+        let max = max_s.trim().parse().ok()?;
+        (min <= max).then_some((min, max))
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($t:ident : $idx:tt),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end);
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min + 1;
+            let len = self.size.min + (rng.next_u64() as usize) % span;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner plumbing: configuration, RNG, and the error type the
+/// assertion macros return.
+pub mod test_runner {
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Config { cases }
+        }
+    }
+
+    /// A failed property within one generated case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// xorshift64* generator, seeded deterministically per test.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds from the test name (FNV-1a), so every run of a given test
+        /// sees the same case sequence.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng(h | 1)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// Everything the workspace's tests import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @config ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            fn __proptest_case(
+                __rng: &mut $crate::test_runner::TestRng,
+            ) -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+                $body
+                ::std::result::Result::Ok(())
+            }
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                if let ::std::result::Result::Err(e) = __proptest_case(&mut __rng) {
+                    panic!("proptest {} failed at case {}: {}", stringify!($name), __case, e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+}
+
+/// Silently skips the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -5.0..5.0f64, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_sizes(
+            exact in collection::vec(0u32..5, 7),
+            ranged in collection::vec(0.0..1.0f64, 2..6),
+        ) {
+            prop_assert_eq!(exact.len(), 7);
+            prop_assert!((2..6).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn prop_map_and_assume_work(x in (0.0..1.0f64, 0.0..1.0f64).prop_map(|(a, b)| a + b)) {
+            prop_assume!(x > 0.1);
+            prop_assert!(x <= 2.0);
+            prop_assert_ne!(x, -1.0);
+        }
+
+        #[test]
+        fn string_pattern_obeys_repeat_bounds(s in "\\PC{0,200}") {
+            prop_assert!(s.chars().count() <= 200);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn config_with_cases_overrides() {
+        assert_eq!(ProptestConfig::with_cases(24).cases, 24);
+    }
+}

@@ -1,0 +1,369 @@
+//! Offline stand-in for `serde_json`, rendering and parsing the vendored
+//! `serde` [`Value`] tree.
+//!
+//! Provides `to_string`, `to_string_pretty`, and `from_str` — the three
+//! entry points the workspace uses. Numbers are formatted with Rust's
+//! shortest-round-trip `Display` for `f64`, so every finite float
+//! round-trips exactly; non-finite values render as `null` (as real
+//! serde_json does by default for its `arbitrary_precision`-less floats).
+
+use serde::de::DeserializeOwned;
+use serde::{Serialize, Value};
+
+pub use serde::Error;
+
+/// Renders a serializable value as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Renders a serializable value as human-readable JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    T::from_value(&value)
+}
+
+// ------------------------------------------------------------- rendering
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            if n.is_finite() {
+                out.push_str(&format!("{n}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, x, d| {
+            write_value(o, x, indent, d)
+        }),
+        Value::Obj(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |o, (k, x), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, indent, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<I, F>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, usize),
+{
+    out.push(brackets.0);
+    if items.len() == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(w * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(w * depth));
+    }
+    out.push(brackets.1);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error("trailing characters after JSON value".into()));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of JSON".into()))
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek()? == expected {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                expected as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                        }
+                        _ => return Err(Error("unknown escape".into())),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the byte stream.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error("truncated UTF-8".into()))?;
+                    let s =
+                        std::str::from_utf8(chunk).map_err(|_| Error("invalid UTF-8".into()))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| Error(format!("invalid number `{s}` at byte {start}")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.0, -0.0, 1.5, 151.2093, -33.8688, 1.0 / 3.0, 1e-12, 4.2] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(x, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn integers_render_without_decimal_point() {
+        assert_eq!(to_string(&7u32).unwrap(), "7");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let s = "a\"b\\c\nd\tē✓";
+        let text = to_string(&s.to_string()).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v: Vec<(f64, f64)> = vec![(0.0, 8.0), (60.0, 8.9)];
+        let text = to_string_pretty(&v).unwrap();
+        let back: Vec<(f64, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn options_round_trip_via_null() {
+        let x: Option<f64> = None;
+        assert_eq!(to_string(&x).unwrap(), "null");
+        let back: Option<f64> = from_str("null").unwrap();
+        assert_eq!(back, None);
+    }
+}
