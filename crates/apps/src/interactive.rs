@@ -66,8 +66,8 @@ pub fn fairness_at(
     users: &[GroundEndpoint],
     t: f64,
 ) -> Option<FairnessReport> {
-    let snap = service.snapshot(t);
-    let per_user = service.user_delays(&snap, users);
+    let view = service.view(t);
+    let per_user = service.user_delays_view(&view, users);
     let group = leo_core::GroupDelays::from_user_delays(&per_user);
     let (sat, _) = group.minmax()?;
     let user_rtts_ms: Vec<f64> = per_user

@@ -3,7 +3,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use leo_constellation::presets;
+use leo_constellation::SatId;
 use leo_geo::Geodetic;
+use leo_net::engine::{DijkstraArena, RoutingEngine};
 use leo_net::routing::{build_graph, delays_to_all_sats, ground_to_ground, GroundEndpoint};
 use leo_net::IslTopology;
 
@@ -44,5 +46,88 @@ fn bench_graph_and_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_topology_build, bench_graph_and_paths);
+/// The CSR engine against the allocating graph path at full 1,584-sat
+/// scale, on the Fig 3 West Africa group: the per-snapshot bulk-delay
+/// query that dominates fig3/fig6/fig7 sweeps. The `baseline_*` entry
+/// rebuilds the graph per snapshot like the pre-engine code did; the
+/// `engine_*` entry refreshes weights in place and reuses one arena.
+fn bench_engine_1584(c: &mut Criterion) {
+    let constellation = presets::starlink_550_only();
+    let topo = IslTopology::plus_grid(&constellation);
+    let snap = constellation.snapshot(300.0);
+    let users = [
+        GroundEndpoint::new(0, Geodetic::ground(6.52, 3.38)), // Lagos
+        GroundEndpoint::new(1, Geodetic::ground(5.56, -0.20)), // Accra
+        GroundEndpoint::new(2, Geodetic::ground(9.06, 7.49)), // Abuja
+    ];
+
+    let single = [users[0]];
+
+    let engine = RoutingEngine::compile(&constellation, &topo);
+    let mut weights = engine.refresh(&snap);
+    let links = engine.attach_scan(&constellation, &snap, &users);
+    let mut arena = DijkstraArena::new();
+
+    let mut group = c.benchmark_group("routing_1584");
+    group.sample_size(20);
+    // The bulk-delays primitive: one ground source to every satellite,
+    // per snapshot (what the pre-engine code paid build_graph for on
+    // every call).
+    group.bench_function("baseline_bulk_delays", |bch| {
+        bch.iter(|| {
+            let graph = build_graph(&constellation, &topo, &snap, &single);
+            black_box(delays_to_all_sats(&graph, &constellation, &single[0]))
+        })
+    });
+    group.bench_function("engine_bulk_delays", |bch| {
+        bch.iter(|| {
+            engine.refresh_into(&snap, &mut weights);
+            let links = engine.attach_scan(&constellation, &snap, &single);
+            black_box(engine.delays_from_all(&weights, &links, &mut arena))
+        })
+    });
+    // The Fig 3 meetup query: the same, for the 3-user West Africa group.
+    group.bench_function("baseline_group_delays", |bch| {
+        bch.iter(|| {
+            let graph = build_graph(&constellation, &topo, &snap, &users);
+            let per_user: Vec<Vec<f64>> = users
+                .iter()
+                .map(|u| delays_to_all_sats(&graph, &constellation, u))
+                .collect();
+            black_box(per_user)
+        })
+    });
+    group.bench_function("engine_group_delays", |bch| {
+        bch.iter(|| {
+            engine.refresh_into(&snap, &mut weights);
+            let links = engine.attach_scan(&constellation, &snap, &users);
+            black_box(engine.delays_from_all(&weights, &links, &mut arena))
+        })
+    });
+    group.bench_function("engine_refresh_only", |bch| {
+        bch.iter(|| {
+            engine.refresh_into(&snap, &mut weights);
+            black_box(weights.len())
+        })
+    });
+    group.bench_function("engine_sat_to_sat", |bch| {
+        bch.iter(|| {
+            black_box(engine.sat_to_sat_delay(
+                &weights,
+                Some(&links),
+                SatId(0),
+                SatId(700),
+                &mut arena,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_topology_build,
+    bench_graph_and_paths,
+    bench_engine_1584
+);
 criterion_main!(benches);

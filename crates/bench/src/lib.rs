@@ -39,7 +39,15 @@ pub fn quick_mode() -> bool {
     if std::env::args().any(|a| a == "--quick") {
         return true;
     }
-    matches!(std::env::var("LEO_QUICK"), Ok(v) if !v.is_empty() && v != "0")
+    quick_mode_from(std::env::var("LEO_QUICK").ok().as_deref())
+}
+
+/// The `LEO_QUICK` decision as a pure function of the variable's value
+/// (`None` = unset): anything but `0` or the empty string enables quick
+/// mode. Split out so tests never have to mutate the process
+/// environment, which is racy under the parallel test runner.
+pub fn quick_mode_from(value: Option<&str>) -> bool {
+    matches!(value, Some(v) if !v.is_empty() && v != "0")
 }
 
 // The experiment binaries predate the sweep engine; keep the old
@@ -52,18 +60,10 @@ mod tests {
 
     #[test]
     fn quick_mode_honors_the_environment() {
-        // Serial by construction: this is the only test in the crate
-        // touching LEO_QUICK.
-        let saved = std::env::var("LEO_QUICK").ok();
-        std::env::set_var("LEO_QUICK", "1");
-        assert!(quick_mode());
-        std::env::set_var("LEO_QUICK", "0");
-        assert!(!quick_mode());
-        std::env::set_var("LEO_QUICK", "");
-        assert!(!quick_mode());
-        match saved {
-            Some(v) => std::env::set_var("LEO_QUICK", v),
-            None => std::env::remove_var("LEO_QUICK"),
-        }
+        assert!(quick_mode_from(Some("1")));
+        assert!(quick_mode_from(Some("yes")));
+        assert!(!quick_mode_from(Some("0")));
+        assert!(!quick_mode_from(Some("")));
+        assert!(!quick_mode_from(None));
     }
 }

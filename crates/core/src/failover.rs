@@ -132,9 +132,9 @@ pub fn run_session_with_failures(
                 // restores from the ground segment instead — same path
                 // model, but only when the old server is alive.
                 if failures.alive(old, t) {
-                    let snap = service.snapshot(t);
+                    let view = service.view(t);
                     service
-                        .migration_delay(&snap, users, old, desired)
+                        .migration_delay_view(&view, users, old, desired)
                         .map(|d| d * 1e3)
                 } else {
                     None

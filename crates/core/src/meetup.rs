@@ -14,7 +14,7 @@ use crate::selection::GroupDelays;
 use crate::service::InOrbitService;
 use leo_constellation::SatId;
 use leo_geo::Geodetic;
-use leo_net::routing::{self, GroundEndpoint};
+use leo_net::routing::GroundEndpoint;
 use serde::{Deserialize, Serialize};
 
 /// A candidate terrestrial hosting site (e.g. an Azure region).
@@ -55,18 +55,19 @@ pub fn hybrid_group_rtt_ms(
     site: &TerrestrialSite,
     t: f64,
 ) -> Option<f64> {
-    let snap = service.snapshot(t);
-    // The site joins the graph as one more ground endpoint; its index must
-    // not collide with the users'.
+    let view = service.view(t);
+    // The site joins the routing node space as one more ground endpoint;
+    // its index must not collide with the users'.
     let site_index = users.iter().map(|u| u.index).max().unwrap_or(0) + 1;
     let site_ep = GroundEndpoint::new(site_index, site.position);
     let mut grounds = users.to_vec();
     grounds.push(site_ep);
-    let graph = service.graph(&snap, &grounds);
+    let links = view.attach(&grounds);
+    let site_slot = grounds.len() - 1;
     let mut worst: f64 = 0.0;
-    for u in users {
-        let p = routing::ground_to_ground(&graph, u, &site_ep)?;
-        worst = worst.max(p.rtt_ms());
+    for (u_slot, _) in users.iter().enumerate() {
+        let delay_s = view.ground_to_ground_delay(&links, u_slot, site_slot)?;
+        worst = worst.max(2.0 * delay_s * 1e3);
     }
     Some(worst)
 }

@@ -58,8 +58,8 @@ impl GroupDelays {
     /// visible. Used for meetup placement across dispersed groups
     /// (Fig 3's tri-continent scenario).
     pub fn compute(service: &InOrbitService, users: &[GroundEndpoint], t: f64) -> Self {
-        let snap = service.snapshot(t);
-        Self::from_user_delays(&service.user_delays(&snap, users))
+        let view = service.view(t);
+        Self::from_user_delays(&service.user_delays_view(&view, users))
     }
 
     /// Group delays under the *direct-visibility* session model: a
@@ -253,9 +253,9 @@ pub fn sticky_select(
         let Some((successor, _)) = future.minmax() else {
             continue;
         };
-        let snap = service.snapshot(death);
+        let view = service.view(death);
         let handoff = service
-            .migration_delay(&snap, users, cand, successor)
+            .migration_delay_view(&view, users, cand, successor)
             .unwrap_or(f64::INFINITY);
         if best.is_none_or(|(_, d)| handoff < d) {
             best = Some((cand, handoff));

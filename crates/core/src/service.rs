@@ -3,6 +3,7 @@
 
 use leo_constellation::{Constellation, SatId, Snapshot};
 use leo_geo::Geodetic;
+use leo_net::engine::{with_thread_arena, GroundLinks, IslWeights, RoutingEngine};
 use leo_net::routing::{self, GroundEndpoint};
 use leo_net::visibility::{self, VisibleSat};
 use leo_net::{IslTopology, NetworkGraph, VisibilityIndex};
@@ -10,21 +11,36 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Propagated positions at one instant, paired with the spatial
-/// visibility index over them. This is the unit the snapshot cache holds
-/// and what the sweep engine in `leo-sim` hands to its workers: one
-/// propagation + one index build, shared by every query at that instant.
+/// visibility index over them and the refreshed ISL routing weights of
+/// the service's compiled [`RoutingEngine`]. This is the unit the
+/// snapshot cache holds and what the sweep engine in `leo-sim` hands to
+/// its workers: one propagation + one index build + one weight refresh,
+/// shared by every query at that instant.
 #[derive(Debug, Clone)]
 pub struct SnapshotView {
     snapshot: Snapshot,
     index: VisibilityIndex,
+    engine: Arc<RoutingEngine>,
+    isl: IslWeights,
 }
 
 impl SnapshotView {
-    /// Builds a view by propagating `constellation` to `t`.
-    pub fn build(constellation: &Constellation, t: f64) -> SnapshotView {
+    /// Builds a view by propagating `constellation` to `t` and refreshing
+    /// `engine`'s edge weights at that instant.
+    pub fn build(
+        constellation: &Constellation,
+        engine: &Arc<RoutingEngine>,
+        t: f64,
+    ) -> SnapshotView {
         let snapshot = constellation.snapshot(t);
         let index = VisibilityIndex::build(constellation, &snapshot);
-        SnapshotView { snapshot, index }
+        let isl = engine.refresh(&snapshot);
+        SnapshotView {
+            snapshot,
+            index,
+            engine: Arc::clone(engine),
+            isl,
+        }
     }
 
     /// The propagated positions.
@@ -35,6 +51,48 @@ impl SnapshotView {
     /// The latitude-banded visibility index over this snapshot.
     pub fn index(&self) -> &VisibilityIndex {
         &self.index
+    }
+
+    /// The compiled routing engine the weights belong to.
+    pub fn engine(&self) -> &RoutingEngine {
+        &self.engine
+    }
+
+    /// The ISL edge weights refreshed for this instant.
+    pub fn isl_weights(&self) -> &IslWeights {
+        &self.isl
+    }
+
+    /// Wires ground endpoints into the routing node space through this
+    /// view's visibility index. Attach once per query group, then run any
+    /// number of delay queries against the result.
+    pub fn attach(&self, grounds: &[GroundEndpoint]) -> GroundLinks {
+        self.engine.attach(&self.index, grounds)
+    }
+
+    /// One-way delay between two satellites at this instant — over the
+    /// ISL mesh alone, or also via the attached ground endpoints when
+    /// `links` is given. Early-exits at the target; `None` when
+    /// disconnected.
+    pub fn sat_to_sat_delay(&self, links: Option<&GroundLinks>, a: SatId, b: SatId) -> Option<f64> {
+        with_thread_arena(|arena| self.engine.sat_to_sat_delay(&self.isl, links, a, b, arena))
+    }
+
+    /// One-way delay between two attached ground endpoints (by slot in
+    /// the group passed to [`SnapshotView::attach`]), or `None` when
+    /// disconnected.
+    pub fn ground_to_ground_delay(&self, links: &GroundLinks, a: usize, b: usize) -> Option<f64> {
+        with_thread_arena(|arena| {
+            self.engine
+                .ground_to_ground_delay(&self.isl, links, a, b, arena)
+        })
+    }
+
+    /// One-way delays from every attached ground endpoint to every
+    /// satellite (`result[ground][sat]`, `INFINITY` when unreachable),
+    /// all rows sharing this worker's arena.
+    pub fn delays_from_all(&self, links: &GroundLinks) -> Vec<Vec<f64>> {
+        with_thread_arena(|arena| self.engine.delays_from_all(&self.isl, links, arena))
     }
 }
 
@@ -69,6 +127,7 @@ const SNAPSHOT_CACHE_CAP: usize = 1024;
 pub struct InOrbitService {
     constellation: Constellation,
     topology: IslTopology,
+    engine: Arc<RoutingEngine>,
     cache: Mutex<HashMap<u64, Arc<SnapshotView>>>,
 }
 
@@ -77,6 +136,7 @@ impl Clone for InOrbitService {
         InOrbitService {
             constellation: self.constellation.clone(),
             topology: self.topology.clone(),
+            engine: Arc::clone(&self.engine),
             // Cached views are immutable and Arc-shared; cloning the map
             // is a handful of pointer bumps.
             cache: Mutex::new(self.cache.lock().expect("cache lock").clone()),
@@ -85,14 +145,23 @@ impl Clone for InOrbitService {
 }
 
 impl InOrbitService {
-    /// Wraps a constellation, building its +Grid ISL topology.
+    /// Wraps a constellation, building its +Grid ISL topology and
+    /// compiling the CSR routing engine over it.
     pub fn new(constellation: Constellation) -> Self {
         let topology = IslTopology::plus_grid(&constellation);
+        let engine = Arc::new(RoutingEngine::compile(&constellation, &topology));
         InOrbitService {
             constellation,
             topology,
+            engine,
             cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The compiled CSR routing engine (static topology; weights are
+    /// refreshed per [`SnapshotView`]).
+    pub fn routing_engine(&self) -> &Arc<RoutingEngine> {
+        &self.engine
     }
 
     /// The cached [`SnapshotView`] at `t` seconds after the epoch,
@@ -104,7 +173,7 @@ impl InOrbitService {
         if let Some(v) = self.cache.lock().expect("cache lock").get(&key) {
             return Arc::clone(v);
         }
-        let built = Arc::new(SnapshotView::build(&self.constellation, t));
+        let built = Arc::new(SnapshotView::build(&self.constellation, &self.engine, t));
         let mut cache = self.cache.lock().expect("cache lock");
         if cache.len() >= SNAPSHOT_CACHE_CAP {
             cache.clear();
@@ -163,12 +232,24 @@ impl InOrbitService {
     /// One-way delays (seconds) from each ground endpoint to every
     /// satellite at a snapshot: `result[user][sat_id]`, `INFINITY` when
     /// unreachable. The bulk query behind meetup-server selection.
+    ///
+    /// Engine-backed adapter: refreshes ISL weights from `snapshot` on
+    /// each call. Sweep code should prefer
+    /// [`InOrbitService::user_delays_view`], which reuses the weights
+    /// already refreshed in the cached [`SnapshotView`].
     pub fn user_delays(&self, snapshot: &Snapshot, users: &[GroundEndpoint]) -> Vec<Vec<f64>> {
-        let graph = self.graph(snapshot, users);
-        users
-            .iter()
-            .map(|u| routing::delays_to_all_sats(&graph, &self.constellation, u))
-            .collect()
+        let weights = self.engine.refresh(snapshot);
+        let links = self
+            .engine
+            .attach_scan(&self.constellation, snapshot, users);
+        with_thread_arena(|arena| self.engine.delays_from_all(&weights, &links, arena))
+    }
+
+    /// [`InOrbitService::user_delays`] against a prebuilt view: one
+    /// shared weight refresh per instant, arena-backed Dijkstra per row.
+    pub fn user_delays_view(&self, view: &SnapshotView, users: &[GroundEndpoint]) -> Vec<Vec<f64>> {
+        let links = view.attach(users);
+        view.delays_from_all(&links)
     }
 
     /// One-way delay (seconds) between two satellite-servers over the ISL
@@ -177,8 +258,22 @@ impl InOrbitService {
         if a == b {
             return Some(0.0);
         }
-        let graph = self.graph(snapshot, &[]);
-        routing::sat_to_sat(&graph, a, b).map(|p| p.delay_s)
+        let weights = self.engine.refresh(snapshot);
+        with_thread_arena(|arena| self.engine.sat_to_sat_delay(&weights, None, a, b, arena))
+    }
+
+    /// [`InOrbitService::server_to_server_delay`] against a prebuilt
+    /// view, reusing its refreshed weights.
+    pub fn server_to_server_delay_view(
+        &self,
+        view: &SnapshotView,
+        a: SatId,
+        b: SatId,
+    ) -> Option<f64> {
+        if a == b {
+            return Some(0.0);
+        }
+        view.sat_to_sat_delay(None, a, b)
     }
 
     /// One-way state-migration delay (seconds) between two servers when
@@ -197,8 +292,30 @@ impl InOrbitService {
         if a == b {
             return Some(0.0);
         }
-        let graph = self.graph(snapshot, grounds);
-        routing::sat_to_sat(&graph, a, b).map(|p| p.delay_s)
+        let weights = self.engine.refresh(snapshot);
+        let links = self
+            .engine
+            .attach_scan(&self.constellation, snapshot, grounds);
+        with_thread_arena(|arena| {
+            self.engine
+                .sat_to_sat_delay(&weights, Some(&links), a, b, arena)
+        })
+    }
+
+    /// [`InOrbitService::migration_delay`] against a prebuilt view,
+    /// reusing its refreshed weights and spatial index.
+    pub fn migration_delay_view(
+        &self,
+        view: &SnapshotView,
+        grounds: &[GroundEndpoint],
+        a: SatId,
+        b: SatId,
+    ) -> Option<f64> {
+        if a == b {
+            return Some(0.0);
+        }
+        let links = view.attach(grounds);
+        view.sat_to_sat_delay(Some(&links), a, b)
     }
 
     /// Direct (single-hop) one-way delays from each user to every

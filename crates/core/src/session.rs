@@ -155,9 +155,9 @@ pub fn run_session(
 
         if current != Some(desired) {
             let transfer_latency_ms = current.and_then(|old| {
-                let snap = service.snapshot(t);
+                let view = service.view(t);
                 service
-                    .migration_delay(&snap, users, old, desired)
+                    .migration_delay_view(&view, users, old, desired)
                     .map(|d| d * 1e3)
             });
             events.push(HandoffEvent {

@@ -1,0 +1,903 @@
+//! The incremental CSR routing engine.
+//!
+//! [`build_graph`](crate::routing::build_graph) reconstructs a
+//! `HashMap`-backed [`NetworkGraph`](crate::graph::NetworkGraph) from
+//! scratch at every snapshot — and the hand-off loops of the
+//! virtual-stationarity experiments rebuild it again *per query*. The
+//! +Grid ISL structure never changes, though: only edge lengths (and the
+//! occasional Earth-occluded link) vary with time. [`RoutingEngine`]
+//! exploits that split:
+//!
+//! * **compile once** — the ISL adjacency is flattened into a compressed
+//!   sparse row (CSR) array over dense satellite indices at construction;
+//! * **refresh per snapshot** — [`RoutingEngine::refresh_into`] rewrites
+//!   only the per-edge weights in place (`INFINITY` marks an occluded
+//!   link; an infinite weight can never relax a vertex, so inactive edges
+//!   need no flag of their own);
+//! * **attach per query group** — ground endpoints occupy indices after
+//!   the satellites; [`RoutingEngine::attach`] wires their up/down links
+//!   from a visibility query into a small two-sided CSR
+//!   ([`GroundLinks`]);
+//! * **query with a reusable arena** — Dijkstra runs against the CSR
+//!   arrays with caller-owned scratch buffers ([`DijkstraArena`]) whose
+//!   clears are O(touched) via generation stamps, plus an early-exit
+//!   variant for single-target queries.
+//!
+//! Delays are **bit-identical** to the brute-force
+//! `build_graph` + Dijkstra path: the same edge set, the same weights
+//! (`distance_m / c`, computed the same way), and the same left-to-right
+//! association of path sums from the same source vertex. A property test
+//! in `tests/engine_vs_graph.rs` pins this on randomized snapshots.
+
+use crate::index::VisibilityIndex;
+use crate::isl::{line_of_sight_clear, IslTopology};
+use crate::routing::GroundEndpoint;
+use crate::visibility::visible_sats;
+use leo_constellation::{Constellation, SatId, Snapshot};
+use leo_geo::consts::SPEED_OF_LIGHT_M_S;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The compiled, time-invariant half of the routing state: the +Grid ISL
+/// adjacency in CSR form over dense satellite indices `0..num_sats`.
+/// Ground endpoints, when attached, occupy indices `num_sats..`.
+#[derive(Debug, Clone)]
+pub struct RoutingEngine {
+    num_sats: usize,
+    /// CSR row offsets: satellite `i`'s slots are `offsets[i]..offsets[i+1]`.
+    offsets: Vec<u32>,
+    /// Neighbor satellite index per slot.
+    targets: Vec<u32>,
+    /// Undirected edge id per slot — both directions of an edge share one
+    /// weight cell in [`IslWeights`].
+    edge_of_slot: Vec<u32>,
+    /// Endpoint indices per undirected edge id.
+    edge_ends: Vec<(u32, u32)>,
+    grazing_altitude_m: f64,
+}
+
+/// Per-snapshot edge weights (one-way delay, seconds) for a compiled
+/// engine; `INFINITY` where the line of sight is Earth-occluded. This is
+/// the only routing state that changes between instants — refresh it in
+/// place and share it across every query at that instant.
+#[derive(Debug, Clone, Default)]
+pub struct IslWeights {
+    delays: Vec<f64>,
+    /// The same weights laid out per directed CSR slot, so the Dijkstra
+    /// inner loop streams one contiguous array instead of bouncing
+    /// through the slot→edge indirection.
+    slots: Vec<f64>,
+    /// Smallest finite weight, or `INFINITY` when every link is occluded
+    /// — the bucket width of the monotone queue.
+    min_finite: f64,
+}
+
+impl IslWeights {
+    /// Weight (seconds) of one undirected edge id; `INFINITY` when the
+    /// link is occluded at the refreshed instant.
+    pub fn delay_s(&self, edge: usize) -> f64 {
+        self.delays[edge]
+    }
+
+    /// Number of compiled edges.
+    pub fn len(&self) -> usize {
+        self.delays.len()
+    }
+
+    /// True when the engine compiled no ISL edges.
+    pub fn is_empty(&self) -> bool {
+        self.delays.is_empty()
+    }
+
+    /// Number of edges currently usable (finite weight).
+    pub fn active_edges(&self) -> usize {
+        self.delays.iter().filter(|d| d.is_finite()).count()
+    }
+
+    /// Smallest finite edge weight (seconds), `INFINITY` when none.
+    pub fn min_finite_s(&self) -> f64 {
+        self.min_finite
+    }
+}
+
+/// Up/down links of one ground-endpoint group at one instant, as a
+/// two-sided CSR: per ground its visible satellites, and per satellite
+/// the grounds that see it. Attach once per (snapshot, group) and run any
+/// number of queries against it.
+#[derive(Debug, Clone)]
+pub struct GroundLinks {
+    num_sats: usize,
+    /// Ground `g`'s up-links are `up[up_offsets[g]..up_offsets[g+1]]`.
+    up_offsets: Vec<u32>,
+    /// `(satellite index, one-way delay seconds)`.
+    up: Vec<(u32, f64)>,
+    /// Satellite `s`'s down-links are `down[down_offsets[s]..down_offsets[s+1]]`.
+    down_offsets: Vec<u32>,
+    /// `(ground slot, one-way delay seconds)`.
+    down: Vec<(u32, f64)>,
+    /// Smallest up-link weight (seconds), `INFINITY` when no ground sees
+    /// any satellite.
+    min_up: f64,
+}
+
+impl GroundLinks {
+    /// Number of attached ground endpoints.
+    pub fn num_grounds(&self) -> usize {
+        self.up_offsets.len() - 1
+    }
+
+    fn up_of(&self, g: usize) -> &[(u32, f64)] {
+        &self.up[self.up_offsets[g] as usize..self.up_offsets[g + 1] as usize]
+    }
+
+    fn down_of(&self, s: usize) -> &[(u32, f64)] {
+        &self.down[self.down_offsets[s] as usize..self.down_offsets[s + 1] as usize]
+    }
+}
+
+/// One node's scratch state, packed to 16 bytes so a relaxation touches
+/// a single cache line instead of three parallel arrays.
+#[derive(Debug, Clone, Copy)]
+struct NodeScratch {
+    dist: f64,
+    stamp: u32,
+}
+
+/// Below this bucket width (seconds — about 3 km of path) the monotone
+/// bucket queue could need an unbounded number of buckets, so queries
+/// fall back to the binary heap. Physical constellations sit far above
+/// it: the shortest possible link is one satellite altitude (> 300 km).
+const MIN_BUCKET_WIDTH_S: f64 = 1e-5;
+
+/// Where a search keeps tentative distances. Two implementations: the
+/// generation-stamped scratch (early-exit queries — only touched nodes
+/// pay) and a caller's plain output row (bulk full-settle queries — no
+/// stamp branches, and the result needs no extraction pass).
+trait DistStore {
+    fn dist_of(&self, v: u32) -> f64;
+    fn set(&mut self, v: u32, d: f64);
+}
+
+/// Generation-stamped distances: an entry is valid only when its stamp
+/// matches the current generation, so a new query clears O(1) state.
+#[derive(Debug, Default)]
+struct StampedScratch {
+    nodes: Vec<NodeScratch>,
+    gen: u32,
+}
+
+impl StampedScratch {
+    /// Starts a new query over `n` nodes: bumps the generation (O(1))
+    /// and grows the buffer if this query is larger than any before.
+    fn begin(&mut self, n: usize) {
+        if self.nodes.len() < n {
+            self.nodes.resize(
+                n,
+                NodeScratch {
+                    dist: f64::INFINITY,
+                    stamp: 0,
+                },
+            );
+        }
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Wrapped after 2^32 queries: stamps from the previous cycle
+            // could alias generation 0, so clear them once.
+            for s in &mut self.nodes {
+                s.stamp = 0;
+            }
+            self.gen = 1;
+        }
+    }
+}
+
+impl DistStore for StampedScratch {
+    #[inline]
+    fn dist_of(&self, v: u32) -> f64 {
+        let s = &self.nodes[v as usize];
+        if s.stamp == self.gen {
+            s.dist
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, v: u32, d: f64) {
+        self.nodes[v as usize] = NodeScratch {
+            dist: d,
+            stamp: self.gen,
+        };
+    }
+}
+
+/// Distances kept directly in an `INFINITY`-prefilled slice.
+struct SliceStore<'a>(&'a mut [f64]);
+
+impl DistStore for SliceStore<'_> {
+    #[inline]
+    fn dist_of(&self, v: u32) -> f64 {
+        self.0[v as usize]
+    }
+
+    #[inline]
+    fn set(&mut self, v: u32, d: f64) {
+        self.0[v as usize] = d;
+    }
+}
+
+/// Reusable Dijkstra scratch: stamped distance entries plus the priority
+/// queues. One arena per worker thread; a single arena serves any number
+/// of queries of any size.
+#[derive(Debug, Default)]
+pub struct DijkstraArena {
+    scratch: StampedScratch,
+    /// Monotone bucket queue: `(node, tentative delay)` by
+    /// `delay / width` bucket. With the width at most the smallest edge
+    /// weight, every pop from the lowest non-empty bucket is final, so
+    /// this settles in a valid label-setting order with O(1) queue ops.
+    buckets: Vec<Vec<(u32, f64)>>,
+    /// Fallback min-heap of `delay bits << 32 | node` — non-negative
+    /// finite `f64` bit patterns order like the floats themselves, so one
+    /// integer compare replaces `total_cmp` plus a tie-break.
+    heap: BinaryHeap<Reverse<u128>>,
+}
+
+impl DijkstraArena {
+    /// Creates an empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn clear_queues(&mut self) {
+        self.heap.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+    }
+}
+
+/// Pushes into the bucket for `d`, growing the bucket array as needed.
+#[inline]
+fn bucket_push(buckets: &mut Vec<Vec<(u32, f64)>>, v: u32, d: f64, inv_width: f64) {
+    let b = (d * inv_width) as usize;
+    if b >= buckets.len() {
+        buckets.resize_with(b + 1, Vec::new);
+    }
+    buckets[b].push((v, d));
+}
+
+/// Packs a non-negative delay and a node index into one ordered heap key.
+#[inline]
+fn heap_key(d: f64, v: u32) -> u128 {
+    ((d.to_bits() as u128) << 32) | v as u128
+}
+
+impl RoutingEngine {
+    /// Compiles the CSR adjacency of `topology` over `constellation`'s
+    /// satellites. Run once per constellation; the result is immutable
+    /// and shareable across threads.
+    pub fn compile(constellation: &Constellation, topology: &IslTopology) -> Self {
+        let num_sats = constellation.num_satellites();
+        let edges = topology.edges();
+        // Counting sort into CSR: degree count, prefix sum, placement.
+        let mut offsets = vec![0u32; num_sats + 1];
+        for e in edges {
+            offsets[e.a.0 as usize + 1] += 1;
+            offsets[e.b.0 as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let total = *offsets.last().unwrap() as usize;
+        let mut targets = vec![0u32; total];
+        let mut edge_of_slot = vec![0u32; total];
+        let mut cursor = offsets[..num_sats].to_vec();
+        let mut edge_ends = Vec::with_capacity(edges.len());
+        for (id, e) in edges.iter().enumerate() {
+            let (a, b) = (e.a.0, e.b.0);
+            for (from, to) in [(a, b), (b, a)] {
+                let slot = cursor[from as usize] as usize;
+                targets[slot] = to;
+                edge_of_slot[slot] = id as u32;
+                cursor[from as usize] += 1;
+            }
+            edge_ends.push((a, b));
+        }
+        RoutingEngine {
+            num_sats,
+            offsets,
+            targets,
+            edge_of_slot,
+            edge_ends,
+            grazing_altitude_m: topology.grazing_altitude_m(),
+        }
+    }
+
+    /// Number of satellites (dense node indices `0..num_sats`).
+    pub fn num_sats(&self) -> usize {
+        self.num_sats
+    }
+
+    /// Number of compiled undirected ISL edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_ends.len()
+    }
+
+    /// Edge weights at `snapshot`, freshly allocated. Prefer
+    /// [`RoutingEngine::refresh_into`] when a buffer can be reused.
+    pub fn refresh(&self, snapshot: &Snapshot) -> IslWeights {
+        let mut w = IslWeights::default();
+        self.refresh_into(snapshot, &mut w);
+        w
+    }
+
+    /// Rewrites `weights` in place for `snapshot`: one-way delay per
+    /// edge, `INFINITY` where the straight line dips into the atmosphere.
+    /// This replaces the allocating `IslTopology::active_edges` path.
+    pub fn refresh_into(&self, snapshot: &Snapshot, weights: &mut IslWeights) {
+        weights.delays.resize(self.edge_ends.len(), f64::INFINITY);
+        let mut min_finite = f64::INFINITY;
+        for (e, &(a, b)) in self.edge_ends.iter().enumerate() {
+            let pa = snapshot.position(SatId(a));
+            let pb = snapshot.position(SatId(b));
+            let w = if line_of_sight_clear(pa, pb, self.grazing_altitude_m) {
+                pa.distance_m(pb) / SPEED_OF_LIGHT_M_S
+            } else {
+                f64::INFINITY
+            };
+            weights.delays[e] = w;
+            min_finite = min_finite.min(w);
+        }
+        weights.min_finite = min_finite;
+        // Scatter into the per-directed-slot layout the Dijkstra inner
+        // loop streams.
+        weights.slots.resize(self.edge_of_slot.len(), f64::INFINITY);
+        for (slot, &e) in self.edge_of_slot.iter().enumerate() {
+            weights.slots[slot] = weights.delays[e as usize];
+        }
+    }
+
+    /// Wires `grounds` into the node space through a prebuilt
+    /// [`VisibilityIndex`] — the hot path: every [`SnapshotView`] already
+    /// carries one.
+    ///
+    /// [`SnapshotView`]: https://docs.rs/leo-core
+    pub fn attach(&self, index: &VisibilityIndex, grounds: &[GroundEndpoint]) -> GroundLinks {
+        self.attach_from(grounds, |gp, out| {
+            index.for_each_visible(gp.ecef, |v| out.push((v.id.0, v.range_m)));
+        })
+    }
+
+    /// Wires `grounds` in by brute-force scan over the snapshot — for
+    /// callers without an index (identical output; the index is exact).
+    pub fn attach_scan(
+        &self,
+        constellation: &Constellation,
+        snapshot: &Snapshot,
+        grounds: &[GroundEndpoint],
+    ) -> GroundLinks {
+        self.attach_from(grounds, |gp, out| {
+            for v in visible_sats(constellation, snapshot, gp.geodetic, gp.ecef) {
+                out.push((v.id.0, v.range_m));
+            }
+        })
+    }
+
+    fn attach_from<F>(&self, grounds: &[GroundEndpoint], mut visible: F) -> GroundLinks
+    where
+        F: FnMut(&GroundEndpoint, &mut Vec<(u32, f64)>),
+    {
+        let mut up_offsets = Vec::with_capacity(grounds.len() + 1);
+        up_offsets.push(0u32);
+        let mut raw: Vec<(u32, f64)> = Vec::new();
+        for gp in grounds {
+            visible(gp, &mut raw);
+            up_offsets.push(raw.len() as u32);
+        }
+        let up: Vec<(u32, f64)> = raw
+            .iter()
+            .map(|&(sat, range_m)| (sat, range_m / SPEED_OF_LIGHT_M_S))
+            .collect();
+        // Transpose into the satellite-side CSR by counting sort.
+        let mut down_offsets = vec![0u32; self.num_sats + 1];
+        for &(sat, _) in &up {
+            down_offsets[sat as usize + 1] += 1;
+        }
+        for i in 1..down_offsets.len() {
+            down_offsets[i] += down_offsets[i - 1];
+        }
+        let mut down = vec![(0u32, 0.0f64); up.len()];
+        let mut cursor = down_offsets[..self.num_sats].to_vec();
+        for g in 0..grounds.len() {
+            for &(sat, w) in &up[up_offsets[g] as usize..up_offsets[g + 1] as usize] {
+                let slot = cursor[sat as usize] as usize;
+                down[slot] = (g as u32, w);
+                cursor[sat as usize] += 1;
+            }
+        }
+        let min_up = up.iter().map(|&(_, w)| w).fold(f64::INFINITY, f64::min);
+        GroundLinks {
+            num_sats: self.num_sats,
+            up_offsets,
+            up,
+            down_offsets,
+            down,
+            min_up,
+        }
+    }
+
+    /// The node index of ground slot `g` (position in the attached
+    /// group), after all satellites.
+    fn ground_node(&self, g: usize) -> u32 {
+        (self.num_sats + g) as u32
+    }
+
+    /// Dijkstra core. With `target`, settles nodes until the target pops
+    /// and returns its delay (early exit); without, settles the whole
+    /// reachable component and returns `None`.
+    ///
+    /// Dispatches to the monotone bucket queue when the smallest edge
+    /// weight allows it, else to the binary heap. Both settle nodes in a
+    /// valid label-setting order over the same weights, so each node's
+    /// final distance is the minimum of the same relaxation set computed
+    /// with the same arithmetic — the results are bit-identical.
+    fn run(
+        &self,
+        weights: &IslWeights,
+        links: Option<&GroundLinks>,
+        src: u32,
+        target: Option<u32>,
+        arena: &mut DijkstraArena,
+    ) -> Option<f64> {
+        let n = self.num_sats + links.map_or(0, GroundLinks::num_grounds);
+        arena.scratch.begin(n);
+        arena.clear_queues();
+        let DijkstraArena {
+            scratch,
+            buckets,
+            heap,
+        } = arena;
+        scratch.set(src, 0.0);
+        let wmin = weights
+            .min_finite
+            .min(links.map_or(f64::INFINITY, |l| l.min_up));
+        if wmin.is_finite() && wmin > MIN_BUCKET_WIDTH_S {
+            // Distance zero lands in bucket 0 whatever the bucket width.
+            bucket_push(buckets, src, 0.0, 0.0);
+            self.search_buckets(weights, links, target, scratch, buckets, wmin)
+        } else {
+            heap.push(Reverse(heap_key(0.0, src)));
+            self.search_heap(weights, links, target, scratch, heap)
+        }
+    }
+
+    /// Label-setting over a monotone bucket queue of width strictly below
+    /// the smallest edge weight: every pop from the lowest non-empty
+    /// bucket is already final (an improvement would have to come through
+    /// an unsettled node at least one full edge weight — more than one
+    /// bucket — below it), so queue operations are O(1) instead of
+    /// O(log n) and nothing is ever re-settled.
+    fn search_buckets<S: DistStore>(
+        &self,
+        weights: &IslWeights,
+        links: Option<&GroundLinks>,
+        target: Option<u32>,
+        store: &mut S,
+        buckets: &mut Vec<Vec<(u32, f64)>>,
+        wmin: f64,
+    ) -> Option<f64> {
+        // A hair under 1/wmin so rounding can never stretch a bucket's
+        // span in delay space beyond the smallest edge weight. The caller
+        // seeded the source into bucket 0.
+        let inv_width = (1.0 - 1e-9) / wmin;
+        let mut cur = 0;
+        loop {
+            while cur < buckets.len() && buckets[cur].is_empty() {
+                cur += 1;
+            }
+            if cur >= buckets.len() {
+                return None;
+            }
+            let Some((u, d)) = buckets[cur].pop() else {
+                continue;
+            };
+            if d > store.dist_of(u) {
+                continue; // stale copy, improved since pushed
+            }
+            if target == Some(u) {
+                return Some(d);
+            }
+            if (u as usize) < self.num_sats {
+                let (lo, hi) = (
+                    self.offsets[u as usize] as usize,
+                    self.offsets[u as usize + 1] as usize,
+                );
+                for (&v, &w) in self.targets[lo..hi].iter().zip(&weights.slots[lo..hi]) {
+                    let nd = d + w;
+                    if nd < store.dist_of(v) {
+                        store.set(v, nd);
+                        bucket_push(buckets, v, nd, inv_width);
+                    }
+                }
+                if let Some(gl) = links {
+                    for &(g, w) in gl.down_of(u as usize) {
+                        let v = self.ground_node(g as usize);
+                        let nd = d + w;
+                        if nd < store.dist_of(v) {
+                            store.set(v, nd);
+                            bucket_push(buckets, v, nd, inv_width);
+                        }
+                    }
+                }
+            } else if let Some(gl) = links {
+                for &(s, w) in gl.up_of(u as usize - self.num_sats) {
+                    let nd = d + w;
+                    if nd < store.dist_of(s) {
+                        store.set(s, nd);
+                        bucket_push(buckets, s, nd, inv_width);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Classic lazy-deletion binary-heap Dijkstra — the fallback for
+    /// degenerate weights (sub-[`MIN_BUCKET_WIDTH_S`] or all-occluded
+    /// topologies, where the bucket count would be unbounded).
+    fn search_heap<S: DistStore>(
+        &self,
+        weights: &IslWeights,
+        links: Option<&GroundLinks>,
+        target: Option<u32>,
+        store: &mut S,
+        heap: &mut BinaryHeap<Reverse<u128>>,
+    ) -> Option<f64> {
+        while let Some(Reverse(key)) = heap.pop() {
+            let u = key as u32;
+            let d = f64::from_bits((key >> 32) as u64);
+            if d > store.dist_of(u) {
+                continue; // stale heap entry
+            }
+            if target == Some(u) {
+                return Some(d);
+            }
+            if (u as usize) < self.num_sats {
+                let (lo, hi) = (
+                    self.offsets[u as usize] as usize,
+                    self.offsets[u as usize + 1] as usize,
+                );
+                for (&v, &w) in self.targets[lo..hi].iter().zip(&weights.slots[lo..hi]) {
+                    let nd = d + w;
+                    if nd < store.dist_of(v) {
+                        store.set(v, nd);
+                        heap.push(Reverse(heap_key(nd, v)));
+                    }
+                }
+                if let Some(gl) = links {
+                    for &(g, w) in gl.down_of(u as usize) {
+                        let v = self.ground_node(g as usize);
+                        let nd = d + w;
+                        if nd < store.dist_of(v) {
+                            store.set(v, nd);
+                            heap.push(Reverse(heap_key(nd, v)));
+                        }
+                    }
+                }
+            } else if let Some(gl) = links {
+                for &(s, w) in gl.up_of(u as usize - self.num_sats) {
+                    let nd = d + w;
+                    if nd < store.dist_of(s) {
+                        store.set(s, nd);
+                        heap.push(Reverse(heap_key(nd, s)));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// One-way delay between two satellites over the refreshed ISL mesh
+    /// (and, when `links` is given, via any attached ground endpoint —
+    /// the state-migration relay path), or `None` when disconnected.
+    /// Early-exits once the target settles.
+    pub fn sat_to_sat_delay(
+        &self,
+        weights: &IslWeights,
+        links: Option<&GroundLinks>,
+        a: SatId,
+        b: SatId,
+        arena: &mut DijkstraArena,
+    ) -> Option<f64> {
+        self.run(weights, links, a.0, Some(b.0), arena)
+    }
+
+    /// One-way delay between two attached ground endpoints (by slot in
+    /// the attached group), or `None` when disconnected. The source is
+    /// `a` — matching the brute-force path's summation order exactly.
+    pub fn ground_to_ground_delay(
+        &self,
+        weights: &IslWeights,
+        links: &GroundLinks,
+        a: usize,
+        b: usize,
+        arena: &mut DijkstraArena,
+    ) -> Option<f64> {
+        self.run(
+            weights,
+            Some(links),
+            self.ground_node(a),
+            Some(self.ground_node(b)),
+            arena,
+        )
+    }
+
+    /// One-way delays from ground slot `src` to every satellite, written
+    /// into `out` (`INFINITY` where unreachable). `out` is resized to
+    /// `num_sats`.
+    pub fn delays_from_ground_into(
+        &self,
+        weights: &IslWeights,
+        links: &GroundLinks,
+        src: usize,
+        out: &mut Vec<f64>,
+        arena: &mut DijkstraArena,
+    ) {
+        debug_assert_eq!(links.num_sats, self.num_sats);
+        // Full-settle query: the output row doubles as the distance
+        // array (ground slots ride along past the end and are trimmed),
+        // skipping both the stamp branches and an extraction pass.
+        let n = self.num_sats + links.num_grounds();
+        out.clear();
+        out.resize(n, f64::INFINITY);
+        arena.clear_queues();
+        let mut store = SliceStore(out);
+        let src = self.ground_node(src);
+        store.set(src, 0.0);
+        let wmin = weights.min_finite.min(links.min_up);
+        if wmin.is_finite() && wmin > MIN_BUCKET_WIDTH_S {
+            bucket_push(&mut arena.buckets, src, 0.0, 0.0);
+            self.search_buckets(
+                weights,
+                Some(links),
+                None,
+                &mut store,
+                &mut arena.buckets,
+                wmin,
+            );
+        } else {
+            arena.heap.push(Reverse(heap_key(0.0, src)));
+            self.search_heap(weights, Some(links), None, &mut store, &mut arena.heap);
+        }
+        out.truncate(self.num_sats);
+    }
+
+    /// Bulk query behind meetup-server selection: one delay row per
+    /// attached ground endpoint (`result[ground][sat]`), all rows sharing
+    /// one arena.
+    pub fn delays_from_all(
+        &self,
+        weights: &IslWeights,
+        links: &GroundLinks,
+        arena: &mut DijkstraArena,
+    ) -> Vec<Vec<f64>> {
+        (0..links.num_grounds())
+            .map(|g| {
+                let mut row = Vec::new();
+                self.delays_from_ground_into(weights, links, g, &mut row, arena);
+                row
+            })
+            .collect()
+    }
+}
+
+/// Runs `f` with this thread's reusable [`DijkstraArena`]. Worker threads
+/// (the sweep pool, the session runners) thereby share one arena across
+/// every query they issue, without any caller-side plumbing.
+///
+/// The closure must not recurse into `with_thread_arena` (the arena is
+/// exclusively borrowed for its duration).
+pub fn with_thread_arena<R>(f: impl FnOnce(&mut DijkstraArena) -> R) -> R {
+    use std::cell::RefCell;
+    thread_local! {
+        static ARENA: RefCell<DijkstraArena> = RefCell::new(DijkstraArena::new());
+    }
+    ARENA.with(|a| f(&mut a.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{self, build_graph};
+    use leo_constellation::presets;
+    use leo_geo::Geodetic;
+
+    fn setup() -> (Constellation, IslTopology, RoutingEngine) {
+        let c = presets::starlink_550_only();
+        let topo = IslTopology::plus_grid(&c);
+        let engine = RoutingEngine::compile(&c, &topo);
+        (c, topo, engine)
+    }
+
+    fn endpoint(i: u32, lat: f64, lon: f64) -> GroundEndpoint {
+        GroundEndpoint::new(i, Geodetic::ground(lat, lon))
+    }
+
+    #[test]
+    fn compiled_csr_mirrors_the_topology() {
+        let (c, topo, engine) = setup();
+        assert_eq!(engine.num_sats(), c.num_satellites());
+        assert_eq!(engine.num_edges(), topo.edges().len());
+        for sat in c.satellites() {
+            let i = sat.id.0 as usize;
+            let mut csr: Vec<u32> =
+                engine.targets[engine.offsets[i] as usize..engine.offsets[i + 1] as usize].to_vec();
+            csr.sort_unstable();
+            let mut expect: Vec<u32> = topo.neighbors(sat.id).iter().map(|n| n.0).collect();
+            expect.sort_unstable();
+            assert_eq!(csr, expect, "sat {i}");
+        }
+    }
+
+    #[test]
+    fn refresh_matches_active_edges() {
+        let (c, topo, engine) = setup();
+        let snap = c.snapshot(450.0);
+        let weights = engine.refresh(&snap);
+        let active = topo.active_edges(&snap);
+        assert_eq!(weights.active_edges(), active.len());
+        // Weights are the same delays active_edges would produce.
+        let by_pair: std::collections::HashMap<(u32, u32), f64> = active
+            .iter()
+            .map(|(e, len)| ((e.a.0, e.b.0), len / SPEED_OF_LIGHT_M_S))
+            .collect();
+        for (id, &(a, b)) in engine.edge_ends.iter().enumerate() {
+            match by_pair.get(&(a, b)) {
+                Some(&d) => assert_eq!(weights.delay_s(id), d),
+                None => assert!(weights.delay_s(id).is_infinite()),
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_into_reuses_the_buffer() {
+        let (c, _, engine) = setup();
+        let mut w = engine.refresh(&c.snapshot(0.0));
+        let before = w.len();
+        engine.refresh_into(&c.snapshot(60.0), &mut w);
+        assert_eq!(w.len(), before);
+        assert_eq!(w.active_edges(), before, "+Grid links stay visible");
+    }
+
+    #[test]
+    fn engine_sat_to_sat_matches_graph_dijkstra() {
+        let (c, topo, engine) = setup();
+        let snap = c.snapshot(0.0);
+        let weights = engine.refresh(&snap);
+        let graph = build_graph(&c, &topo, &snap, &[]);
+        let mut arena = DijkstraArena::new();
+        for (a, b) in [(0u32, 792u32), (3, 3), (100, 1500), (5, 6)] {
+            let fast = engine.sat_to_sat_delay(&weights, None, SatId(a), SatId(b), &mut arena);
+            let slow = routing::sat_to_sat(&graph, SatId(a), SatId(b)).map(|p| p.delay_s);
+            assert_eq!(fast, slow, "{a}->{b}");
+        }
+    }
+
+    #[test]
+    fn engine_bulk_delays_match_graph_dijkstra_bitwise() {
+        let (c, topo, engine) = setup();
+        let snap = c.snapshot(120.0);
+        let grounds = [endpoint(0, 9.06, 7.49), endpoint(1, -33.87, 151.21)];
+        let weights = engine.refresh(&snap);
+        let links = engine.attach_scan(&c, &snap, &grounds);
+        let mut arena = DijkstraArena::new();
+        let fast = engine.delays_from_all(&weights, &links, &mut arena);
+        let graph = build_graph(&c, &topo, &snap, &grounds);
+        for (g, gp) in grounds.iter().enumerate() {
+            let slow = routing::delays_to_all_sats(&graph, &c, gp);
+            assert_eq!(fast[g], slow, "ground {g}");
+        }
+    }
+
+    #[test]
+    fn ground_to_ground_matches_graph_path_delay() {
+        let (c, topo, engine) = setup();
+        let snap = c.snapshot(0.0);
+        let a = endpoint(0, 51.51, -0.13);
+        let b = endpoint(1, 40.71, -74.01);
+        let grounds = [a, b];
+        let weights = engine.refresh(&snap);
+        let links = engine.attach_scan(&c, &snap, &grounds);
+        let mut arena = DijkstraArena::new();
+        let fast = engine
+            .ground_to_ground_delay(&weights, &links, 0, 1, &mut arena)
+            .unwrap();
+        let graph = build_graph(&c, &topo, &snap, &grounds);
+        let slow = routing::ground_to_ground(&graph, &a, &b).unwrap().delay_s;
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn indexed_attachment_equals_scan_attachment() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(300.0);
+        let index = VisibilityIndex::build(&c, &snap);
+        let grounds = [endpoint(0, 0.0, 0.0), endpoint(1, 47.38, 8.54)];
+        let by_index = engine.attach(&index, &grounds);
+        let by_scan = engine.attach_scan(&c, &snap, &grounds);
+        let mut arena = DijkstraArena::new();
+        let weights = engine.refresh(&snap);
+        assert_eq!(
+            engine.delays_from_all(&weights, &by_index, &mut arena),
+            engine.delays_from_all(&weights, &by_scan, &mut arena),
+        );
+    }
+
+    #[test]
+    fn arena_is_reusable_across_queries_of_different_sizes() {
+        let (c, _, engine) = setup();
+        let small = presets::telesat();
+        let small_topo = IslTopology::plus_grid(&small);
+        let small_engine = RoutingEngine::compile(&small, &small_topo);
+        let mut arena = DijkstraArena::new();
+        let w_big = engine.refresh(&c.snapshot(0.0));
+        let w_small = small_engine.refresh(&small.snapshot(0.0));
+        let d1 = engine.sat_to_sat_delay(&w_big, None, SatId(0), SatId(700), &mut arena);
+        let d2 = small_engine.sat_to_sat_delay(&w_small, None, SatId(0), SatId(50), &mut arena);
+        let d3 = engine.sat_to_sat_delay(&w_big, None, SatId(0), SatId(700), &mut arena);
+        assert_eq!(d1, d3, "arena state must not leak between queries");
+        assert!(d2.is_some());
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        // A bent-pipe (no-ISL) engine: satellites are mutually unreachable
+        // without a ground relay.
+        let c = presets::starlink_550_only();
+        let topo = IslTopology::none(&c);
+        let engine = RoutingEngine::compile(&c, &topo);
+        let snap = c.snapshot(0.0);
+        let weights = engine.refresh(&snap);
+        let mut arena = DijkstraArena::new();
+        assert_eq!(
+            engine.sat_to_sat_delay(&weights, None, SatId(0), SatId(1), &mut arena),
+            None
+        );
+        // With a ground endpoint attached, two satellites it sees become
+        // mutually reachable through the bounce.
+        let g = endpoint(0, 0.0, 0.0);
+        let links = engine.attach_scan(&c, &snap, &[g]);
+        let vis = visible_sats(&c, &snap, g.geodetic, g.ecef);
+        assert!(vis.len() >= 2);
+        let d = engine.sat_to_sat_delay(&weights, Some(&links), vis[0].id, vis[1].id, &mut arena);
+        assert_eq!(
+            d.unwrap(),
+            vis[0].delay_s() + vis[1].delay_s(),
+            "bounce path is the only route"
+        );
+    }
+
+    #[test]
+    fn self_delay_is_zero() {
+        let (c, _, engine) = setup();
+        let weights = engine.refresh(&c.snapshot(0.0));
+        let mut arena = DijkstraArena::new();
+        assert_eq!(
+            engine.sat_to_sat_delay(&weights, None, SatId(9), SatId(9), &mut arena),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn thread_arena_round_trips() {
+        let (c, _, engine) = setup();
+        let weights = engine.refresh(&c.snapshot(0.0));
+        let a = with_thread_arena(|arena| {
+            engine.sat_to_sat_delay(&weights, None, SatId(0), SatId(100), arena)
+        });
+        let b = with_thread_arena(|arena| {
+            engine.sat_to_sat_delay(&weights, None, SatId(0), SatId(100), arena)
+        });
+        assert_eq!(a, b);
+    }
+}

@@ -15,6 +15,12 @@
 //!   check, plus link lengths at any time.
 //! * [`graph`] — a propagation-delay-weighted network graph over
 //!   satellites and ground endpoints with Dijkstra shortest paths.
+//! * [`engine`] — the incremental CSR routing engine: the ISL adjacency
+//!   compiled once ([`engine::RoutingEngine`]), per-snapshot weight
+//!   refreshes in place ([`engine::IslWeights`]), per-group ground
+//!   attachment ([`engine::GroundLinks`]), and arena-backed Dijkstra
+//!   ([`engine::DijkstraArena`]) with early exit and bulk variants —
+//!   bit-identical delays to the [`graph`] path, several times faster.
 //! * [`routing`] — end-to-end helpers: ground–ground RTT through the
 //!   constellation, ground–satellite–ground meetup paths, and
 //!   satellite–satellite transfer paths.
@@ -33,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod des;
+pub mod engine;
 pub mod graph;
 pub mod handover;
 pub mod index;
@@ -42,6 +49,7 @@ pub mod routing;
 pub mod visibility;
 pub mod weather;
 
+pub use engine::{DijkstraArena, GroundLinks, IslWeights, RoutingEngine};
 pub use graph::{NetworkGraph, NodeId, Path};
 pub use index::VisibilityIndex;
 pub use isl::IslTopology;

@@ -9,8 +9,9 @@
 //! the work:
 //!
 //! 1. each instant is propagated **once**, into a shared
-//!    [`SnapshotView`] (positions + spatial visibility index), in
-//!    parallel across the pool;
+//!    [`SnapshotView`] (positions + spatial visibility index + refreshed
+//!    ISL edge weights for the compiled routing engine), in parallel
+//!    across the pool;
 //! 2. ground points are fanned across the worker pool, each worker
 //!    folding sequentially over the prebuilt views;
 //! 3. results come back in input order, and — because each ground

@@ -83,6 +83,48 @@ fn fig3_west_africa_meetup_improvement() {
 }
 
 #[test]
+fn fig3_golden_worst_case_values_are_pinned() {
+    // Golden regression for the fig3 binary's reported worst-case rows.
+    // The full sweep takes its maximum (by in-orbit RTT) over 13
+    // instants 600 s apart; these are the argmax instants of that sweep,
+    // so the values below are exactly what fig3 prints: West Africa
+    // 43.3 ms hybrid / 9.6 ms in-orbit, tri-continent 92.6 / 68.3 ms.
+    // A shift here means the routing engine (or the constellation
+    // geometry feeding it) changed fig3's output.
+    let starlink =
+        InOrbitService::new(in_orbit::constellation::presets::starlink_phase1_conservative());
+    let cmp = compare(&starlink, &west_africa(), &azure_sites(), 3600.0).expect("served");
+    assert!(
+        (cmp.hybrid_rtt_ms - 43.319231).abs() < 0.05,
+        "west africa hybrid {}",
+        cmp.hybrid_rtt_ms
+    );
+    assert!(
+        (cmp.in_orbit_rtt_ms - 9.625884).abs() < 0.05,
+        "west africa in-orbit {}",
+        cmp.in_orbit_rtt_ms
+    );
+
+    let kuiper = InOrbitService::new(kuiper());
+    let tri = vec![
+        GroundEndpoint::new(0, Geodetic::ground(29.42, -98.49)),
+        GroundEndpoint::new(1, Geodetic::ground(-23.55, -46.63)),
+        GroundEndpoint::new(2, Geodetic::ground(-33.87, 151.21)),
+    ];
+    let cmp = compare(&kuiper, &tri, &azure_sites(), 1800.0).expect("served");
+    assert!(
+        (cmp.hybrid_rtt_ms - 92.560125).abs() < 0.05,
+        "tri-continent hybrid {}",
+        cmp.hybrid_rtt_ms
+    );
+    assert!(
+        (cmp.in_orbit_rtt_ms - 68.281732).abs() < 0.05,
+        "tri-continent in-orbit {}",
+        cmp.in_orbit_rtt_ms
+    );
+}
+
+#[test]
 fn fig4_invisible_fractions() {
     // Fig 4 at n = 1000: > 1/3 of Starlink, > 1/2 of Kuiper invisible.
     let cities = WorldCities::load_at_least(1000);
