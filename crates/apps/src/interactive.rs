@@ -66,6 +66,7 @@ pub fn fairness_at(
     users: &[GroundEndpoint],
     t: f64,
 ) -> Option<FairnessReport> {
+    leo_obs::counter!("apps.interactive.fairness_evals").incr();
     let view = service.view(t);
     let per_user = service.user_delays_view(&view, users);
     let group = leo_core::GroupDelays::from_user_delays(&per_user);
@@ -98,6 +99,7 @@ pub fn fairness_over_session(
     step_s: f64,
 ) -> Vec<(f64, f64)> {
     assert!(step_s > 0.0 && duration_s > 0.0);
+    let _span = leo_obs::span!("apps.interactive.fairness_session_s");
     let steps = (duration_s / step_s).round() as usize;
     let times: Vec<f64> = (0..=steps).map(|i| start_s + i as f64 * step_s).collect();
     leo_sim::parallel_map(times, leo_sim::default_threads(), |&t| {

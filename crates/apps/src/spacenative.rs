@@ -37,6 +37,8 @@ impl InvisibleReport {
 /// Counts satellites invisible from all of `sites` at time `t`, through
 /// the service's cached snapshot view and its spatial index.
 pub fn invisible_count(service: &InOrbitService, sites: &[Geodetic], t: f64) -> InvisibleReport {
+    let _span = leo_obs::span!("apps.spacenative.coverage_s");
+    leo_obs::counter!("apps.spacenative.coverage_sites").add(sites.len() as u64);
     let view = service.view(t);
     let grounds: Vec<Ecef> = sites.iter().map(|g| g.to_ecef_spherical()).collect();
     let mask = view.index().coverage_mask(&grounds);
@@ -63,6 +65,7 @@ pub fn invisible_series(
     t: f64,
     prefix_sizes: &[usize],
 ) -> Vec<InvisibleReport> {
+    let _span = leo_obs::span!("apps.spacenative.coverage_s");
     let view = service.view(t);
     let total_sats = view.index().num_satellites();
     let mut mask = vec![false; total_sats];
@@ -74,6 +77,9 @@ pub fn invisible_series(
             .iter()
             .map(|g| g.to_ecef_spherical())
             .collect();
+        // Sites are counted as they are *covered*, not per prefix, so the
+        // total matches the incremental work actually done.
+        leo_obs::counter!("apps.spacenative.coverage_sites").add(grounds.len() as u64);
         view.index().mark_coverage(&grounds, &mut mask);
         covered = n;
         reports.push(InvisibleReport {
@@ -89,6 +95,8 @@ pub fn invisible_series(
 /// behind Fig 5's map. Shares the cached snapshot view (and therefore
 /// the propagation) with [`invisible_count`] at the same instant.
 pub fn invisible_positions(service: &InOrbitService, sites: &[Geodetic], t: f64) -> Vec<Geodetic> {
+    let _span = leo_obs::span!("apps.spacenative.coverage_s");
+    leo_obs::counter!("apps.spacenative.coverage_sites").add(sites.len() as u64);
     let view = service.view(t);
     let grounds: Vec<Ecef> = sites.iter().map(|g| g.to_ecef_spherical()).collect();
     let mask = view.index().coverage_mask(&grounds);

@@ -9,7 +9,7 @@
 //! Run: `cargo run -p leo-bench --release --bin fig1`
 //! (add `--quick` for coarse sampling).
 
-use leo_bench::{quick_mode, write_results};
+use leo_bench::cli::Run;
 use leo_constellation::presets;
 use leo_core::access::{AccessStats, SamplingConfig};
 use leo_core::InOrbitService;
@@ -27,7 +27,8 @@ struct Row {
 }
 
 fn main() {
-    let quick = quick_mode();
+    let mut run = Run::start("fig1");
+    let (quick, threads) = (run.quick(), run.threads());
     let sampling = if quick {
         SamplingConfig::coarse()
     } else {
@@ -35,8 +36,12 @@ fn main() {
     };
     let step = if quick { 5.0 } else { 1.0 };
 
-    let starlink = InOrbitService::new(presets::starlink_phase1());
-    let kuiper = InOrbitService::new(presets::kuiper());
+    let (starlink, kuiper) = run.phase("compile", || {
+        (
+            InOrbitService::new(presets::starlink_phase1()),
+            InOrbitService::new(presets::kuiper()),
+        )
+    });
 
     let lats: Vec<f64> = {
         let mut v = Vec::new();
@@ -49,13 +54,15 @@ fn main() {
     };
 
     let sweep_stats = |service: &InOrbitService| -> Vec<AccessStats> {
-        TimeSweep::new(service, sampling.times()).run(lats.clone(), |&lat, views| {
-            let ge = Geodetic::ground(lat, 0.0).to_ecef_spherical();
-            AccessStats::from_visible_sets(views.iter().map(|(_, v)| v.index().query(ge)))
-        })
+        TimeSweep::new(service, sampling.times())
+            .with_threads(threads)
+            .run(lats.clone(), |&lat, views| {
+                let ge = Geodetic::ground(lat, 0.0).to_ecef_spherical();
+                AccessStats::from_visible_sets(views.iter().map(|(_, v)| v.index().query(ge)))
+            })
     };
-    let starlink_stats = sweep_stats(&starlink);
-    let kuiper_stats = sweep_stats(&kuiper);
+    let starlink_stats = run.phase("starlink_sweep", || sweep_stats(&starlink));
+    let kuiper_stats = run.phase("kuiper_sweep", || sweep_stats(&kuiper));
 
     let rows: Vec<Row> = lats
         .iter()
@@ -109,5 +116,6 @@ fn main() {
     println!("#   Starlink farthest, worst over all latitudes: {max_star_max:.1} ms (16 ms)");
     println!("#   Kuiper service cutoff latitude             : {kuiper_cutoff:.0}° (no service beyond 60°)");
 
-    write_results("fig1", &rows);
+    run.write_results(&rows);
+    run.finish();
 }

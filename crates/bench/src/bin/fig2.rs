@@ -5,7 +5,7 @@
 //! (`leo_sim::TimeSweep`), shared by every latitude.
 //! Run: `cargo run -p leo-bench --release --bin fig2` (add `--quick`).
 
-use leo_bench::{quick_mode, write_results};
+use leo_bench::cli::Run;
 use leo_constellation::presets;
 use leo_core::access::{AccessStats, SamplingConfig};
 use leo_core::InOrbitService;
@@ -25,7 +25,8 @@ struct Row {
 }
 
 fn main() {
-    let quick = quick_mode();
+    let mut run = Run::start("fig2");
+    let (quick, threads) = (run.quick(), run.threads());
     let sampling = if quick {
         SamplingConfig::coarse()
     } else {
@@ -33,8 +34,12 @@ fn main() {
     };
     let step = if quick { 5.0 } else { 1.0 };
 
-    let starlink = InOrbitService::new(presets::starlink_phase1());
-    let kuiper = InOrbitService::new(presets::kuiper());
+    let (starlink, kuiper) = run.phase("compile", || {
+        (
+            InOrbitService::new(presets::starlink_phase1()),
+            InOrbitService::new(presets::kuiper()),
+        )
+    });
 
     let lats: Vec<f64> = {
         let mut v = Vec::new();
@@ -47,13 +52,15 @@ fn main() {
     };
 
     let sweep_stats = |service: &InOrbitService| -> Vec<AccessStats> {
-        TimeSweep::new(service, sampling.times()).run(lats.clone(), |&lat, views| {
-            let ge = Geodetic::ground(lat, 0.0).to_ecef_spherical();
-            AccessStats::from_visible_sets(views.iter().map(|(_, v)| v.index().query(ge)))
-        })
+        TimeSweep::new(service, sampling.times())
+            .with_threads(threads)
+            .run(lats.clone(), |&lat, views| {
+                let ge = Geodetic::ground(lat, 0.0).to_ecef_spherical();
+                AccessStats::from_visible_sets(views.iter().map(|(_, v)| v.index().query(ge)))
+            })
     };
-    let starlink_stats = sweep_stats(&starlink);
-    let kuiper_stats = sweep_stats(&kuiper);
+    let starlink_stats = run.phase("starlink_sweep", || sweep_stats(&starlink));
+    let kuiper_stats = run.phase("kuiper_sweep", || sweep_stats(&kuiper));
 
     let rows: Vec<Row> = lats
         .iter()
@@ -103,5 +110,6 @@ fn main() {
     println!("#   Starlink latitudes with avg ≥ 30 reachable: {star_30plus}/{star_served} served latitudes (\"30+ from almost all locations\")");
     println!("#   Kuiper latitudes with avg ≥ 10 reachable  : {kuiper_10plus}/{kuiper_served} served latitudes (\"10+ for most latitudes\")");
 
-    write_results("fig2", &rows);
+    run.write_results(&rows);
+    run.finish();
 }

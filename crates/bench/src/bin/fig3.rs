@@ -7,14 +7,14 @@
 //! Kuiper — 97 ms vs 66 ms; Sticky costs +1.4 ms on the West Africa
 //! group. Run: `cargo run -p leo-bench --release --bin fig3`.
 
-use leo_bench::{quick_mode, write_results};
+use leo_bench::cli::Run;
 use leo_constellation::presets;
 use leo_core::meetup::{azure_sites, compare};
 use leo_core::session::run_session;
 use leo_core::{InOrbitService, Policy, SessionConfig};
 use leo_geo::Geodetic;
 use leo_net::routing::GroundEndpoint;
-use leo_sim::{default_threads, parallel_map, TimeSweep};
+use leo_sim::{parallel_map, TimeSweep};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -43,15 +43,17 @@ fn run_scenario(
     service: &InOrbitService,
     users: &[(&str, f64, f64)],
     paper: (f64, f64),
+    quick: bool,
+    threads: usize,
 ) -> Scenario {
     let eps = endpoints(users);
     // Worst case over time samples, matching the paper's "maximum value
     // across these measurements" methodology. The samples are
     // independent, so the sweep engine propagates the instants once and
     // fans the comparisons across the pool.
-    let samples = if quick_mode() { 3 } else { 13 };
+    let samples = if quick { 3 } else { 13 };
     let times: Vec<f64> = (0..samples).map(|i| i as f64 * 600.0).collect();
-    let sweep = TimeSweep::new(service, times.iter().copied());
+    let sweep = TimeSweep::new(service, times.iter().copied()).with_threads(threads);
     let comparisons = sweep.run(times, |&t, _| compare(service, &eps, &azure_sites(), t));
     comparisons
         .into_iter()
@@ -72,8 +74,14 @@ fn run_scenario(
 }
 
 fn main() {
-    let starlink = InOrbitService::new(presets::starlink_phase1_conservative());
-    let kuiper = InOrbitService::new(presets::kuiper());
+    let mut run = Run::start("fig3");
+    let (quick, threads) = (run.quick(), run.threads());
+    let (starlink, kuiper) = run.phase("compile", || {
+        (
+            InOrbitService::new(presets::starlink_phase1_conservative()),
+            InOrbitService::new(presets::kuiper()),
+        )
+    });
 
     let west_africa = [
         ("Abuja", 9.06, 7.49),
@@ -86,10 +94,26 @@ fn main() {
         ("Australia East", -33.87, 151.21),
     ];
 
-    let scenarios = vec![
-        run_scenario("West Africa x3", &starlink, &west_africa, (46.0, 16.0)),
-        run_scenario("Tri-continent x3", &kuiper, &tri_continent, (97.0, 66.0)),
-    ];
+    let scenarios = run.phase("meetup_comparison", || {
+        vec![
+            run_scenario(
+                "West Africa x3",
+                &starlink,
+                &west_africa,
+                (46.0, 16.0),
+                quick,
+                threads,
+            ),
+            run_scenario(
+                "Tri-continent x3",
+                &kuiper,
+                &tri_continent,
+                (97.0, 66.0),
+                quick,
+                threads,
+            ),
+        ]
+    });
 
     println!("# Fig 3: meetup-server placement (worst case over sampled instants)");
     println!(
@@ -117,21 +141,24 @@ fn main() {
     let svc_sessions = InOrbitService::new(presets::starlink_phase1_conservative());
     let cfg = SessionConfig {
         start_s: 0.0,
-        duration_s: if quick_mode() { 600.0 } else { 3600.0 },
+        duration_s: if quick { 600.0 } else { 3600.0 },
         tick_s: 10.0,
     };
     // Both policy runs tick the same schedule; run them concurrently over
     // the shared snapshot cache.
-    let sessions = parallel_map(
-        vec![Policy::MinMax, Policy::sticky_default()],
-        default_threads(),
-        |&policy| run_session(&svc_sessions, &eps, policy, &cfg),
-    );
+    let sessions = run.phase("sticky_premium", || {
+        parallel_map(
+            vec![Policy::MinMax, Policy::sticky_default()],
+            threads,
+            |&policy| run_session(&svc_sessions, &eps, policy, &cfg),
+        )
+    });
     let premium = sessions[1].mean_group_rtt_ms().unwrap_or(f64::NAN)
         - sessions[0].mean_group_rtt_ms().unwrap_or(f64::NAN);
     println!(
         "\n# Sticky latency premium on the West Africa group: {premium:+.2} ms (paper: +1.4 ms)"
     );
 
-    write_results("fig3", &scenarios);
+    run.write_results(&scenarios);
+    run.finish();
 }

@@ -6,7 +6,7 @@
 //! at any time. Run: `cargo run -p leo-bench --release --bin fig4`.
 
 use leo_apps::spacenative::invisible_series;
-use leo_bench::write_results;
+use leo_bench::cli::Run;
 use leo_cities::WorldCities;
 use leo_constellation::presets;
 use leo_core::InOrbitService;
@@ -22,17 +22,26 @@ struct Row {
 }
 
 fn main() {
-    let starlink = InOrbitService::new(presets::starlink_phase1());
-    let kuiper = InOrbitService::new(presets::kuiper());
-    let cities = WorldCities::load_at_least(1000);
+    let mut run = Run::start("fig4");
+    let (starlink, kuiper, cities) = run.phase("compile", || {
+        (
+            InOrbitService::new(presets::starlink_phase1()),
+            InOrbitService::new(presets::kuiper()),
+            WorldCities::load_at_least(1000),
+        )
+    });
 
     // The catalog is population-sorted, so the top-n sets are prefixes of
     // the top-1000 list: one propagated snapshot (cached view) per
     // constellation and one visibility query per city covers all ten rows.
     let sites = cities.top_n_geodetic(1000);
     let sizes: Vec<usize> = (100..=1000).step_by(100).collect();
-    let s_series = invisible_series(&starlink, &sites, 0.0, &sizes);
-    let k_series = invisible_series(&kuiper, &sites, 0.0, &sizes);
+    let s_series = run.phase("starlink_series", || {
+        invisible_series(&starlink, &sites, 0.0, &sizes)
+    });
+    let k_series = run.phase("kuiper_series", || {
+        invisible_series(&kuiper, &sites, 0.0, &sizes)
+    });
 
     let rows: Vec<Row> = s_series
         .iter()
@@ -74,5 +83,6 @@ fn main() {
         last.kuiper_fraction * 100.0
     );
 
-    write_results("fig4", &rows);
+    run.write_results(&rows);
+    run.finish();
 }

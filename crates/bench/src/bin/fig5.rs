@@ -6,7 +6,7 @@
 //! plotting. Run: `cargo run -p leo-bench --release --bin fig5`.
 
 use leo_apps::spacenative::{invisible_count, invisible_positions};
-use leo_bench::write_results;
+use leo_bench::cli::Run;
 use leo_cities::WorldCities;
 use leo_constellation::presets;
 use leo_core::InOrbitService;
@@ -21,12 +21,21 @@ struct Fig5Data {
 }
 
 fn main() {
-    let service = InOrbitService::new(presets::starlink_phase1());
-    let cities = WorldCities::load_at_least(1000);
+    let mut run = Run::start("fig5");
+    let (service, cities) = run.phase("compile", || {
+        (
+            InOrbitService::new(presets::starlink_phase1()),
+            WorldCities::load_at_least(1000),
+        )
+    });
     let sites: Vec<Geodetic> = cities.top_n_geodetic(1000);
 
-    let report = invisible_count(&service, &sites, 0.0);
-    let invisible = invisible_positions(&service, &sites, 0.0);
+    let (report, invisible) = run.phase("visibility", || {
+        (
+            invisible_count(&service, &sites, 0.0),
+            invisible_positions(&service, &sites, 0.0),
+        )
+    });
 
     println!(
         "# Fig 5: invisible Starlink satellites ({} of {}) vs the 1000 largest cities",
@@ -46,17 +55,15 @@ fn main() {
         invisible.len()
     );
 
-    write_results(
-        "fig5",
-        &Fig5Data {
-            cities: sites
-                .iter()
-                .map(|g| (g.lat.degrees(), g.lon.degrees()))
-                .collect(),
-            invisible_satellites: invisible
-                .iter()
-                .map(|g| (g.lat.degrees(), g.lon.degrees()))
-                .collect(),
-        },
-    );
+    run.write_results(&Fig5Data {
+        cities: sites
+            .iter()
+            .map(|g| (g.lat.degrees(), g.lon.degrees()))
+            .collect(),
+        invisible_satellites: invisible
+            .iter()
+            .map(|g| (g.lat.degrees(), g.lon.degrees()))
+            .collect(),
+    });
+    run.finish();
 }

@@ -4,13 +4,13 @@
 //! 4× longer than for MinMax." Run:
 //! `cargo run -p leo-bench --release --bin fig6` (add `--quick`).
 
-use leo_bench::{quick_mode, write_results};
+use leo_bench::cli::Run;
 use leo_constellation::presets;
 use leo_core::session::run_session;
 use leo_core::{Cdf, InOrbitService, Policy, SessionConfig};
 use leo_geo::Geodetic;
 use leo_net::routing::GroundEndpoint;
-use leo_sim::{default_threads, parallel_map};
+use leo_sim::parallel_map;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -42,11 +42,15 @@ fn groups() -> Vec<Vec<GroundEndpoint>> {
 }
 
 fn main() {
-    let service = InOrbitService::new(presets::starlink_phase1_conservative());
+    let mut run = Run::start("fig6");
+    let (quick, threads) = (run.quick(), run.threads());
+    let service = run.phase("compile", || {
+        InOrbitService::new(presets::starlink_phase1_conservative())
+    });
     let cfg = SessionConfig {
         start_s: 0.0,
-        duration_s: if quick_mode() { 900.0 } else { 7200.0 },
-        tick_s: if quick_mode() { 5.0 } else { 1.0 },
+        duration_s: if quick { 900.0 } else { 7200.0 },
+        tick_s: if quick { 5.0 } else { 1.0 },
     };
 
     // All (policy × group) sessions tick the same schedule against one
@@ -57,8 +61,10 @@ fn main() {
         .iter()
         .flat_map(|&p| groups().into_iter().map(move |g| (p, g)))
         .collect();
-    let runs = parallel_map(combos, default_threads(), |(policy, users)| {
-        run_session(&service, users, *policy, &cfg)
+    let runs = run.phase("sessions", || {
+        parallel_map(combos, threads, |(policy, users)| {
+            run_session(&service, users, *policy, &cfg)
+        })
     });
 
     let per_policy = groups().len();
@@ -101,5 +107,6 @@ fn main() {
     println!("#   Sticky median interval : {smed:.0} s (164 s)");
     println!("#   Sticky/MinMax ratio    : {:.1}x (4x)", smed / mmed);
 
-    write_results("fig6", &series);
+    run.write_results(&series);
+    run.finish();
 }

@@ -6,13 +6,13 @@
 //! an advantage in the tail." Run:
 //! `cargo run -p leo-bench --release --bin fig7` (add `--quick`).
 
-use leo_bench::{quick_mode, write_results};
+use leo_bench::cli::Run;
 use leo_constellation::presets;
 use leo_core::session::run_session;
 use leo_core::{Cdf, InOrbitService, Policy, SessionConfig};
 use leo_geo::Geodetic;
 use leo_net::routing::GroundEndpoint;
-use leo_sim::{default_threads, parallel_map};
+use leo_sim::parallel_map;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -39,11 +39,15 @@ fn groups() -> Vec<Vec<GroundEndpoint>> {
 }
 
 fn main() {
-    let service = InOrbitService::new(presets::starlink_phase1_conservative());
+    let mut run = Run::start("fig7");
+    let (quick, threads) = (run.quick(), run.threads());
+    let service = run.phase("compile", || {
+        InOrbitService::new(presets::starlink_phase1_conservative())
+    });
     let cfg = SessionConfig {
         start_s: 0.0,
-        duration_s: if quick_mode() { 900.0 } else { 7200.0 },
-        tick_s: if quick_mode() { 5.0 } else { 1.0 },
+        duration_s: if quick { 900.0 } else { 7200.0 },
+        tick_s: if quick { 5.0 } else { 1.0 },
     };
 
     // Same engine shape as Fig 6: fan the (policy × group) sessions
@@ -53,8 +57,10 @@ fn main() {
         .iter()
         .flat_map(|&p| groups().into_iter().map(move |g| (p, g)))
         .collect();
-    let runs = parallel_map(combos, default_threads(), |(policy, users)| {
-        run_session(&service, users, *policy, &cfg)
+    let runs = run.phase("sessions", || {
+        parallel_map(combos, threads, |(policy, users)| {
+            run_session(&service, users, *policy, &cfg)
+        })
     });
 
     let per_policy = groups().len();
@@ -97,5 +103,6 @@ fn main() {
         st.quantile(0.99).unwrap_or(f64::NAN)
     );
 
-    write_results("fig7", &series);
+    run.write_results(&series);
+    run.finish();
 }

@@ -1,0 +1,370 @@
+//! Shared plumbing for the experiment binaries: one place that reads
+//! `--quick`/`LEO_QUICK`, `LEO_THREADS`, and `--out-dir`/`LEO_OUT_DIR`,
+//! plus the per-run manifest every binary writes next to its results.
+//!
+//! A binary wraps its work in a [`Run`]:
+//!
+//! ```no_run
+//! use leo_bench::cli::Run;
+//!
+//! let mut run = Run::start("fig0");
+//! let data = run.phase("sweep", || vec![1.0, 2.0]);
+//! run.write_results(&data);
+//! run.finish(); // writes results/fig0.meta.json
+//! ```
+//!
+//! The manifest (`<name>.meta.json`) records the run configuration,
+//! per-phase wall-clock times, and a dump of every `leo-obs` counter and
+//! histogram — see EXPERIMENTS.md for the schema and the `perf_report`
+//! binary for pretty-printing and run-vs-run diffing.
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Run configuration shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Coarse sampling for CI / smoke runs (`--quick` or `LEO_QUICK`).
+    pub quick: bool,
+    /// Worker-pool size (`LEO_THREADS`, default machine parallelism).
+    pub threads: usize,
+    /// Where results and manifests go (`--out-dir`, `LEO_OUT_DIR`,
+    /// default `results`).
+    pub out_dir: PathBuf,
+}
+
+impl RunConfig {
+    /// Reads the process arguments and environment.
+    pub fn from_env() -> RunConfig {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        RunConfig::from_parts(
+            &args,
+            std::env::var("LEO_QUICK").ok().as_deref(),
+            std::env::var("LEO_THREADS").ok().as_deref(),
+            std::env::var("LEO_OUT_DIR").ok().as_deref(),
+        )
+    }
+
+    /// The same decision as a pure function of the inputs (`None` =
+    /// variable unset), so tests never mutate the process environment.
+    /// Flags win over environment variables.
+    pub fn from_parts(
+        args: &[String],
+        quick_env: Option<&str>,
+        threads_env: Option<&str>,
+        out_env: Option<&str>,
+    ) -> RunConfig {
+        let quick = args.iter().any(|a| a == "--quick") || crate::quick_mode_from(quick_env);
+        let out_dir = args
+            .iter()
+            .position(|a| a == "--out-dir")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .or(out_env)
+            .unwrap_or("results")
+            .into();
+        RunConfig {
+            quick,
+            threads: leo_sim::threads_from(threads_env),
+            out_dir,
+        }
+    }
+}
+
+/// One experiment binary's execution context: the parsed [`RunConfig`],
+/// a wall clock, and the phase log that ends up in the manifest.
+pub struct Run {
+    name: String,
+    config: RunConfig,
+    started: Instant,
+    phases: Vec<PhaseRecord>,
+}
+
+impl Run {
+    /// Starts a run named `name` (the results/manifest file stem),
+    /// configured from the process arguments and environment.
+    pub fn start(name: &str) -> Run {
+        Run::with_config(name, RunConfig::from_env())
+    }
+
+    /// Starts a run with an explicit configuration (tests, embedding).
+    pub fn with_config(name: &str, config: RunConfig) -> Run {
+        Run {
+            name: name.to_string(),
+            config,
+            started: Instant::now(),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Quick mode?
+    pub fn quick(&self) -> bool {
+        self.config.quick
+    }
+
+    /// Worker-pool size for `parallel_map` / `TimeSweep::with_threads`.
+    pub fn threads(&self) -> usize {
+        self.config.threads
+    }
+
+    /// Output directory for results and the manifest.
+    pub fn out_dir(&self) -> &Path {
+        &self.config.out_dir
+    }
+
+    /// Runs `f`, recording its wall-clock time as phase `label` in the
+    /// manifest. Phases appear in execution order.
+    pub fn phase<R>(&mut self, label: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let result = f();
+        self.phases.push(PhaseRecord {
+            name: label.to_string(),
+            wall_s: t0.elapsed().as_secs_f64(),
+        });
+        result
+    }
+
+    /// Writes `data` as pretty JSON to `<out_dir>/<name>.json`. The data
+    /// file is the experiment's *result* — it must be byte-identical
+    /// whatever the observability level, which is why timings and
+    /// counters go to the separate manifest instead.
+    pub fn write_results<T: Serialize>(&self, data: &T) {
+        crate::write_json(&self.config.out_dir, &format!("{}.json", self.name), data);
+    }
+
+    /// Builds the manifest (configuration, phase wall-clocks, and a dump
+    /// of every `leo-obs` metric), writes it to
+    /// `<out_dir>/<name>.meta.json`, and returns it.
+    pub fn finish(self) -> RunManifest {
+        let manifest = self.manifest();
+        crate::write_json(
+            &self.config.out_dir,
+            &format!("{}.meta.json", manifest.name),
+            &manifest,
+        );
+        manifest
+    }
+
+    /// The manifest [`Run::finish`] would write, without writing it.
+    pub fn manifest(&self) -> RunManifest {
+        let obs = leo_obs::snapshot();
+        RunManifest {
+            name: self.name.clone(),
+            quick: self.config.quick,
+            threads: self.config.threads,
+            obs_level: level_name(leo_obs::level()).to_string(),
+            total_s: self.started.elapsed().as_secs_f64(),
+            phases: self.phases.clone(),
+            counters: obs
+                .counters
+                .into_iter()
+                .map(|(name, value)| CounterRecord { name, value })
+                .collect(),
+            histograms: obs
+                .histograms
+                .iter()
+                .filter(|d| d.count > 0)
+                .map(HistogramRecord::from_dump)
+                .collect(),
+        }
+    }
+}
+
+fn level_name(l: leo_obs::Level) -> &'static str {
+    match l {
+        leo_obs::Level::Off => "off",
+        leo_obs::Level::Metrics => "metrics",
+        leo_obs::Level::Full => "full",
+    }
+}
+
+/// One timed phase of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseRecord {
+    /// Phase label, unique within a run by convention.
+    pub name: String,
+    /// Wall-clock seconds the phase took.
+    pub wall_s: f64,
+}
+
+/// One counter's total at the end of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterRecord {
+    /// Registered metric name.
+    pub name: String,
+    /// Final value. Exact: counters stay far below 2^53.
+    pub value: u64,
+}
+
+/// One histogram's summary at the end of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramRecord {
+    /// Registered metric name.
+    pub name: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of all samples (seconds for span histograms).
+    pub sum: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median, accurate to one log-bucket (≲ 19 %).
+    pub p50: f64,
+    /// 99th percentile, same accuracy.
+    pub p99: f64,
+    /// Upper bound on the maximum sample.
+    pub max: f64,
+}
+
+impl HistogramRecord {
+    fn from_dump(d: &leo_obs::HistogramDump) -> HistogramRecord {
+        HistogramRecord {
+            name: d.name.clone(),
+            count: d.count,
+            sum: d.sum,
+            mean: d.mean().unwrap_or(0.0),
+            p50: d.quantile(0.5).unwrap_or(0.0),
+            p99: d.quantile(0.99).unwrap_or(0.0),
+            max: d.max().unwrap_or(0.0),
+        }
+    }
+}
+
+/// The per-run manifest written as `<name>.meta.json` — everything about
+/// *how* a run went, kept apart from *what* it computed so result files
+/// stay byte-identical across observability levels and machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Run name (the results file stem, e.g. `fig3`).
+    pub name: String,
+    /// Whether the run sampled coarsely (`--quick` / `LEO_QUICK`).
+    pub quick: bool,
+    /// Worker-pool size the run used.
+    pub threads: usize,
+    /// Observability level: `off`, `metrics`, or `full`.
+    pub obs_level: String,
+    /// Total wall-clock seconds from `Run::start` to `Run::finish`.
+    pub total_s: f64,
+    /// Timed phases, in execution order.
+    pub phases: Vec<PhaseRecord>,
+    /// Every registered counter, sorted by name.
+    pub counters: Vec<CounterRecord>,
+    /// Every non-empty histogram, sorted by name.
+    pub histograms: Vec<HistogramRecord>,
+}
+
+impl RunManifest {
+    /// Parses a manifest from a JSON file.
+    pub fn load(path: &Path) -> Result<RunManifest, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+    }
+
+    /// The named counter's value, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The named phase's wall-clock seconds, if recorded.
+    pub fn phase_wall(&self, name: &str) -> Option<f64> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.wall_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(args: &[&str], quick: Option<&str>, out: Option<&str>) -> RunConfig {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        RunConfig::from_parts(&args, quick, Some("3"), out)
+    }
+
+    #[test]
+    fn quick_flag_and_env_both_enable_quick_mode() {
+        assert!(cfg(&["--quick"], None, None).quick);
+        assert!(cfg(&[], Some("1"), None).quick);
+        assert!(!cfg(&[], Some("0"), None).quick);
+        assert!(!cfg(&[], None, None).quick);
+    }
+
+    #[test]
+    fn out_dir_flag_wins_over_env_and_default() {
+        assert_eq!(
+            cfg(&["--out-dir", "/tmp/x"], None, Some("/tmp/y")).out_dir,
+            PathBuf::from("/tmp/x")
+        );
+        assert_eq!(
+            cfg(&[], None, Some("/tmp/y")).out_dir,
+            PathBuf::from("/tmp/y")
+        );
+        assert_eq!(cfg(&[], None, None).out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn threads_env_flows_through() {
+        assert_eq!(cfg(&[], None, None).threads, 3);
+    }
+
+    #[test]
+    fn run_records_phases_in_order() {
+        let mut run = Run::with_config(
+            "t",
+            RunConfig {
+                quick: true,
+                threads: 2,
+                out_dir: PathBuf::from("results"),
+            },
+        );
+        let x = run.phase("a", || 1 + 1);
+        assert_eq!(x, 2);
+        run.phase("b", || ());
+        let m = run.manifest();
+        let names: Vec<&str> = m.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert!(m.phases.iter().all(|p| p.wall_s >= 0.0));
+        assert!(m.quick);
+        assert_eq!(m.threads, 2);
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let m = RunManifest {
+            name: "fig9".into(),
+            quick: false,
+            threads: 8,
+            obs_level: "metrics".into(),
+            total_s: 1.25,
+            phases: vec![PhaseRecord {
+                name: "sweep".into(),
+                wall_s: 1.0,
+            }],
+            counters: vec![CounterRecord {
+                name: "engine.dijkstra.pops".into(),
+                value: 123_456,
+            }],
+            histograms: vec![HistogramRecord {
+                name: "sim.worker_busy_s".into(),
+                count: 4,
+                sum: 2.0,
+                mean: 0.5,
+                p50: 0.5,
+                p99: 0.7,
+                max: 0.8,
+            }],
+        };
+        let text = serde_json::to_string_pretty(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.counter("engine.dijkstra.pops"), Some(123_456));
+        assert_eq!(back.phase_wall("sweep"), Some(1.0));
+        assert_eq!(back.counter("missing"), None);
+    }
+}

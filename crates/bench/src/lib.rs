@@ -14,21 +14,30 @@
 use serde::Serialize;
 use std::path::Path;
 
+pub mod cli;
+
 /// Writes an experiment's data as pretty JSON under `results/<name>.json`
 /// (creating the directory), and reports where it went on stderr.
+/// Binaries using the [`cli::Run`] context should prefer
+/// [`cli::Run::write_results`], which honours `--out-dir`.
 pub fn write_results<T: Serialize>(name: &str, data: &T) {
-    let dir = Path::new("results");
+    write_json(Path::new("results"), &format!("{name}.json"), data);
+}
+
+/// Writes `data` as pretty JSON to `dir/filename` (creating the
+/// directory), reporting where it went — or why it couldn't — on stderr.
+pub fn write_json<T: Serialize>(dir: &Path, filename: &str, data: &T) {
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
-    let path = dir.join(format!("{name}.json"));
+    let path = dir.join(filename);
     match serde_json::to_string_pretty(data) {
         Ok(json) => match std::fs::write(&path, json) {
             Ok(()) => eprintln!("wrote {}", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
         },
-        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+        Err(e) => eprintln!("warning: cannot serialize {filename}: {e}"),
     }
 }
 

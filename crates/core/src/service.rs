@@ -171,6 +171,7 @@ impl InOrbitService {
     pub fn view(&self, t: f64) -> Arc<SnapshotView> {
         let key = t.to_bits();
         if let Some(v) = self.cache.lock().expect("cache lock").get(&key) {
+            leo_obs::counter!("service.snapshot_hits").incr();
             return Arc::clone(v);
         }
         let built = Arc::new(SnapshotView::build(&self.constellation, &self.engine, t));
@@ -179,8 +180,21 @@ impl InOrbitService {
             cache.clear();
         }
         // Two threads may race to build the same instant; keep the first
-        // insert so all holders share one allocation.
-        Arc::clone(cache.entry(key).or_insert(built))
+        // insert so all holders share one allocation. Hit/miss is
+        // classified by who *inserts* (the race loser counts a hit even
+        // though it built), so the totals per instant — one miss, k−1
+        // hits for k calls — do not depend on thread interleaving. The
+        // CI determinism check relies on this.
+        match cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                leo_obs::counter!("service.snapshot_hits").incr();
+                Arc::clone(e.get())
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                leo_obs::counter!("service.snapshot_misses").incr();
+                Arc::clone(e.insert(built))
+            }
+        }
     }
 
     /// The underlying constellation.

@@ -87,6 +87,26 @@ impl Cdf {
         self.sorted.last().copied()
     }
 
+    /// Merges `other`'s samples into this CDF — the combined distribution
+    /// over the union of the two sample multisets. Linear: both sides are
+    /// already sorted.
+    pub fn merge(&mut self, other: &Cdf) {
+        let mut merged = Vec::with_capacity(self.sorted.len() + other.sorted.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.sorted.len() && j < other.sorted.len() {
+            if self.sorted[i].total_cmp(&other.sorted[j]).is_le() {
+                merged.push(self.sorted[i]);
+                i += 1;
+            } else {
+                merged.push(other.sorted[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.sorted[i..]);
+        merged.extend_from_slice(&other.sorted[j..]);
+        self.sorted = merged;
+    }
+
     /// `(x, P(X ≤ x))` pairs suitable for plotting the CDF curve.
     pub fn curve(&self) -> Vec<(f64, f64)> {
         let n = self.sorted.len() as f64;
@@ -138,6 +158,97 @@ mod tests {
     #[should_panic(expected = "NaN sample")]
     fn nan_samples_are_rejected() {
         Cdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn empty_cdf_quantiles_and_extremes_are_none() {
+        let cdf = Cdf::new(vec![]);
+        assert_eq!(cdf.len(), 0);
+        assert_eq!(cdf.quantile(0.0), None);
+        assert_eq!(cdf.quantile(1.0), None);
+        assert_eq!(cdf.min(), None);
+        assert_eq!(cdf.max(), None);
+        assert!(cdf.samples().is_empty());
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        let cdf = Cdf::new(vec![42.0]);
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0, -3.0, 7.0] {
+            assert_eq!(cdf.quantile(q), Some(42.0), "q = {q}");
+        }
+        assert_eq!(cdf.median(), Some(42.0));
+        assert_eq!(cdf.mean(), Some(42.0));
+        assert_eq!(cdf.min(), cdf.max());
+        assert_eq!(cdf.curve(), vec![(42.0, 1.0)]);
+    }
+
+    #[test]
+    fn fraction_at_exact_sample_boundaries() {
+        // P(X ≤ x) must include ties at x and flip exactly at the
+        // sample values, not between them.
+        let cdf = Cdf::new(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(3.0), 1.0);
+        assert_eq!(
+            cdf.fraction_at_or_below(f64::from_bits(2.0f64.to_bits() - 1)),
+            0.25,
+            "one ulp below a tie pair excludes both"
+        );
+        assert_eq!(cdf.fraction_at_or_below(f64::NEG_INFINITY), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn single_sample_fraction_flips_at_the_sample() {
+        let cdf = Cdf::new(vec![5.0]);
+        assert_eq!(cdf.fraction_at_or_below(4.999), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(5.0), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_rebuilding_from_concatenated_samples() {
+        let mut a = Cdf::new(vec![3.0, 1.0, 4.0]);
+        let b = Cdf::new(vec![2.0, 1.0, 5.0]);
+        a.merge(&b);
+        assert_eq!(a, Cdf::new(vec![3.0, 1.0, 4.0, 2.0, 1.0, 5.0]));
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.median(), Some(2.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Cdf::new(vec![1.0, 2.0]);
+        let before = a.clone();
+        a.merge(&Cdf::new(vec![]));
+        assert_eq!(a, before);
+        let mut empty = Cdf::new(vec![]);
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn cdf_round_trips_through_json() {
+        let cdf = Cdf::new(vec![20.0, 164.0, 80.0, 40.0, 320.0]);
+        let text = serde_json::to_string(&cdf).unwrap();
+        let back: Cdf = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, cdf);
+        assert_eq!(back.median(), cdf.median());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_matches_concat_rebuild(
+            xs in proptest::collection::vec(-1e6..1e6f64, 0..40),
+            ys in proptest::collection::vec(-1e6..1e6f64, 0..40),
+        ) {
+            let mut merged = Cdf::new(xs.clone());
+            merged.merge(&Cdf::new(ys.clone()));
+            let mut concat = xs;
+            concat.extend(ys);
+            prop_assert_eq!(merged, Cdf::new(concat));
+        }
     }
 
     #[test]

@@ -257,6 +257,26 @@ impl DijkstraArena {
     }
 }
 
+/// Local Dijkstra work tallies — plain register increments on the hot
+/// path, flushed to the process-wide [`leo_obs`] counters once per query
+/// on drop (covering every return path of the searches).
+#[derive(Default)]
+struct SearchTally {
+    /// Nodes settled (stale queue copies excluded).
+    pops: u64,
+    /// Successful edge relaxations (tentative-distance improvements).
+    relaxations: u64,
+}
+
+impl Drop for SearchTally {
+    fn drop(&mut self) {
+        if self.pops != 0 || self.relaxations != 0 {
+            leo_obs::counter!("engine.dijkstra.pops").add(self.pops);
+            leo_obs::counter!("engine.dijkstra.relaxations").add(self.relaxations);
+        }
+    }
+}
+
 /// Pushes into the bucket for `d`, growing the bucket array as needed.
 #[inline]
 fn bucket_push(buckets: &mut Vec<Vec<(u32, f64)>>, v: u32, d: f64, inv_width: f64) {
@@ -336,6 +356,7 @@ impl RoutingEngine {
     /// edge, `INFINITY` where the straight line dips into the atmosphere.
     /// This replaces the allocating `IslTopology::active_edges` path.
     pub fn refresh_into(&self, snapshot: &Snapshot, weights: &mut IslWeights) {
+        let _span = leo_obs::span!("engine.refresh_s");
         weights.delays.resize(self.edge_ends.len(), f64::INFINITY);
         let mut min_finite = f64::INFINITY;
         for (e, &(a, b)) in self.edge_ends.iter().enumerate() {
@@ -463,10 +484,12 @@ impl RoutingEngine {
             .min_finite
             .min(links.map_or(f64::INFINITY, |l| l.min_up));
         if wmin.is_finite() && wmin > MIN_BUCKET_WIDTH_S {
+            leo_obs::counter!("engine.dijkstra.bucket_queries").incr();
             // Distance zero lands in bucket 0 whatever the bucket width.
             bucket_push(buckets, src, 0.0, 0.0);
             self.search_buckets(weights, links, target, scratch, buckets, wmin)
         } else {
+            leo_obs::counter!("engine.dijkstra.heap_queries").incr();
             heap.push(Reverse(heap_key(0.0, src)));
             self.search_heap(weights, links, target, scratch, heap)
         }
@@ -491,6 +514,7 @@ impl RoutingEngine {
         // span in delay space beyond the smallest edge weight. The caller
         // seeded the source into bucket 0.
         let inv_width = (1.0 - 1e-9) / wmin;
+        let mut tally = SearchTally::default();
         let mut cur = 0;
         loop {
             while cur < buckets.len() && buckets[cur].is_empty() {
@@ -505,6 +529,7 @@ impl RoutingEngine {
             if d > store.dist_of(u) {
                 continue; // stale copy, improved since pushed
             }
+            tally.pops += 1;
             if target == Some(u) {
                 return Some(d);
             }
@@ -517,6 +542,7 @@ impl RoutingEngine {
                     let nd = d + w;
                     if nd < store.dist_of(v) {
                         store.set(v, nd);
+                        tally.relaxations += 1;
                         bucket_push(buckets, v, nd, inv_width);
                     }
                 }
@@ -526,6 +552,7 @@ impl RoutingEngine {
                         let nd = d + w;
                         if nd < store.dist_of(v) {
                             store.set(v, nd);
+                            tally.relaxations += 1;
                             bucket_push(buckets, v, nd, inv_width);
                         }
                     }
@@ -535,6 +562,7 @@ impl RoutingEngine {
                     let nd = d + w;
                     if nd < store.dist_of(s) {
                         store.set(s, nd);
+                        tally.relaxations += 1;
                         bucket_push(buckets, s, nd, inv_width);
                     }
                 }
@@ -553,12 +581,14 @@ impl RoutingEngine {
         store: &mut S,
         heap: &mut BinaryHeap<Reverse<u128>>,
     ) -> Option<f64> {
+        let mut tally = SearchTally::default();
         while let Some(Reverse(key)) = heap.pop() {
             let u = key as u32;
             let d = f64::from_bits((key >> 32) as u64);
             if d > store.dist_of(u) {
                 continue; // stale heap entry
             }
+            tally.pops += 1;
             if target == Some(u) {
                 return Some(d);
             }
@@ -571,6 +601,7 @@ impl RoutingEngine {
                     let nd = d + w;
                     if nd < store.dist_of(v) {
                         store.set(v, nd);
+                        tally.relaxations += 1;
                         heap.push(Reverse(heap_key(nd, v)));
                     }
                 }
@@ -580,6 +611,7 @@ impl RoutingEngine {
                         let nd = d + w;
                         if nd < store.dist_of(v) {
                             store.set(v, nd);
+                            tally.relaxations += 1;
                             heap.push(Reverse(heap_key(nd, v)));
                         }
                     }
@@ -589,6 +621,7 @@ impl RoutingEngine {
                     let nd = d + w;
                     if nd < store.dist_of(s) {
                         store.set(s, nd);
+                        tally.relaxations += 1;
                         heap.push(Reverse(heap_key(nd, s)));
                     }
                 }
@@ -656,6 +689,7 @@ impl RoutingEngine {
         store.set(src, 0.0);
         let wmin = weights.min_finite.min(links.min_up);
         if wmin.is_finite() && wmin > MIN_BUCKET_WIDTH_S {
+            leo_obs::counter!("engine.dijkstra.bucket_queries").incr();
             bucket_push(&mut arena.buckets, src, 0.0, 0.0);
             self.search_buckets(
                 weights,
@@ -666,6 +700,7 @@ impl RoutingEngine {
                 wmin,
             );
         } else {
+            leo_obs::counter!("engine.dijkstra.heap_queries").incr();
             arena.heap.push(Reverse(heap_key(0.0, src)));
             self.search_heap(weights, Some(links), None, &mut store, &mut arena.heap);
         }

@@ -164,21 +164,26 @@ impl VisibilityIndex {
     /// the caller only aggregates.
     pub fn for_each_visible<F: FnMut(VisibleSat)>(&self, ground_ecef: Ecef, mut f: F) {
         let glat = geocentric_latitude(ground_ecef);
+        let (mut scanned, mut returned) = (0u64, 0u64);
         for sh in &self.shells {
             let reach = sh.central_angle_rad + LAT_EPS_RAD;
             let lo = sh.band_of((glat - reach).max(-std::f64::consts::FRAC_PI_2));
             let hi = sh.band_of((glat + reach).min(std::f64::consts::FRAC_PI_2));
             let start = sh.band_offsets[lo] as usize;
             let end = sh.band_offsets[hi + 1] as usize;
+            scanned += (end - start) as u64;
             for &(id, pos) in &sh.entries[start..end] {
                 let range = ground_ecef.distance_m(pos);
                 if range <= sh.max_range_m
                     && look::is_visible_spherical(ground_ecef, pos, sh.min_elevation)
                 {
+                    returned += 1;
                     f(VisibleSat { id, range_m: range });
                 }
             }
         }
+        leo_obs::counter!("visibility.candidates_scanned").add(scanned);
+        leo_obs::counter!("visibility.returned").add(returned);
     }
 
     /// Indexed version of [`crate::visibility::coverage_mask`]: marks the

@@ -1,0 +1,822 @@
+//! # leo-obs
+//!
+//! Zero-dependency observability for the in-orbit computing stack:
+//! process-wide registries of named [`Counter`]s, log-bucketed
+//! [`Histogram`]s, and scoped [`Span`] timers.
+//!
+//! The design target is *hot-path safe* instrumentation. The routing
+//! engine settles ~1,600 nodes per Dijkstra query and the sweeps run
+//! millions of such queries, so:
+//!
+//! * **disabled** (the default): every record path is one relaxed atomic
+//!   load of the cached `LEO_OBS` level plus a predictable branch —
+//!   nothing else. Figure outputs are byte-identical with observability
+//!   on and off because the metrics never feed back into computation.
+//! * **enabled**: counters and histograms are sharded per thread
+//!   ([`NUM_SHARDS`] cache-line-padded cells, threads assigned
+//!   round-robin), so a record is a couple of *relaxed* atomic ops with
+//!   no cross-core contention on the sweep pool.
+//! * **span timers** read the clock, so they sit behind a second level:
+//!   `LEO_OBS=1` enables counters and histograms, `LEO_OBS=2` (or
+//!   `full`) additionally enables spans.
+//!
+//! Handles are interned per call site through the [`counter!`],
+//! [`histogram!`], and [`span!`] macros: the first execution registers
+//! the metric (by name, deduplicated) in the process-wide registry and
+//! leaks it to `&'static`; later executions are a single
+//! `OnceLock::get`. [`snapshot`] walks the registry and folds the shards
+//! into a serializer-friendly dump; [`reset`] zeroes everything (tests
+//! and multi-run tools).
+//!
+//! Counters must be deterministic functions of the work performed — not
+//! of scheduling — so that run manifests can be diffed across thread
+//! counts; anything timing-derived belongs in a histogram or span.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ----------------------------------------------------------------- level
+
+/// How much instrumentation is live, cached from `LEO_OBS` on first use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No recording: every record path is one load + branch.
+    Off = 0,
+    /// Counters and histograms record; span timers stay off (no clock
+    /// reads on hot paths).
+    Metrics = 1,
+    /// Everything records, including span timers.
+    Full = 2,
+}
+
+impl Level {
+    /// Numeric form, as written in run manifests.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Sentinel meaning "not yet read from the environment".
+const LEVEL_UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+/// The `LEO_OBS` decision as a pure function of the variable's value
+/// (`None` = unset): `1`/`metrics` → [`Level::Metrics`], `2`/`full` →
+/// [`Level::Full`], anything else (including unset, empty, and `0`) →
+/// [`Level::Off`]. Split out so tests never mutate the process
+/// environment.
+pub fn level_from(value: Option<&str>) -> Level {
+    match value.map(str::trim) {
+        Some("1") | Some("metrics") => Level::Metrics,
+        Some("2") | Some("full") => Level::Full,
+        _ => Level::Off,
+    }
+}
+
+fn decode(raw: u8) -> Level {
+    match raw {
+        1 => Level::Metrics,
+        2 => Level::Full,
+        _ => Level::Off,
+    }
+}
+
+/// The active level. First call reads `LEO_OBS`; later calls are one
+/// relaxed atomic load.
+#[inline]
+pub fn level() -> Level {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw == LEVEL_UNSET {
+        let l = level_from(std::env::var("LEO_OBS").ok().as_deref());
+        LEVEL.store(l as u8, Ordering::Relaxed);
+        l
+    } else {
+        decode(raw)
+    }
+}
+
+/// Overrides the level for the rest of the process (tests, tools that
+/// enable metrics programmatically). Takes effect immediately on all
+/// threads.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// True when counters and histograms record.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    level() >= Level::Metrics
+}
+
+/// True when span timers read the clock.
+#[inline]
+pub fn spans_enabled() -> bool {
+    level() == Level::Full
+}
+
+// -------------------------------------------------------------- sharding
+
+/// Number of per-metric shards. Threads are assigned round-robin, so any
+/// pool up to this wide records contention-free.
+pub const NUM_SHARDS: usize = 16;
+
+/// One cache line per shard so two workers never bounce a line.
+#[repr(align(64))]
+#[derive(Default)]
+struct ShardCell(AtomicU64);
+
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % NUM_SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+// -------------------------------------------------------------- registry
+
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<Vec<&'static Counter>>,
+    histograms: Mutex<Vec<&'static Histogram>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+// -------------------------------------------------------------- counters
+
+/// A named monotonic counter, sharded per thread.
+///
+/// Obtain a handle with [`counter!`] (interned per call site) or
+/// [`Counter::register`]; both deduplicate by name process-wide.
+pub struct Counter {
+    name: &'static str,
+    shards: [ShardCell; NUM_SHARDS],
+}
+
+impl Counter {
+    /// The counter registered under `name`, creating it on first use.
+    pub fn register(name: &'static str) -> &'static Counter {
+        let mut list = registry().counters.lock().expect("counter registry");
+        if let Some(c) = list.iter().find(|c| c.name == name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter {
+            name,
+            shards: Default::default(),
+        }));
+        list.push(c);
+        c
+    }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` when metrics are enabled; a load + branch otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if metrics_enabled() {
+            self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+// ------------------------------------------------------------ histograms
+
+/// Sub-buckets per power of two: the top [`SUB_BITS`] mantissa bits join
+/// the exponent in the bucket key, giving buckets a geometric width of
+/// `2^(1/4)` (≈ 19 % relative error worst case — plenty for latency and
+/// work-size distributions).
+const SUB_BITS: u32 = 2;
+
+/// Smallest bucketed magnitude, `2^-64`. Everything smaller (zero
+/// included) lands in the underflow bucket.
+const MIN_EXP: i32 = -64;
+
+/// Largest bucketed magnitude, `2^64`. Everything larger (infinity
+/// included) lands in the overflow bucket.
+const MAX_EXP: i32 = 64;
+
+/// Bucket key of the smallest regular bucket: biased exponent of
+/// `2^MIN_EXP` shifted left by the sub-bucket bits.
+const MIN_KEY: u64 = ((1023 + MIN_EXP) as u64) << SUB_BITS;
+
+/// Number of regular (non-under/overflow) buckets.
+const NUM_BUCKETS: usize = ((MAX_EXP - MIN_EXP) as usize) << SUB_BITS;
+
+/// Index of the underflow slot in the storage array.
+const UNDERFLOW: usize = 0;
+
+/// Index of the overflow slot.
+const OVERFLOW: usize = NUM_BUCKETS + 1;
+
+/// Slots per shard: regular buckets plus the two tails.
+const SLOTS: usize = NUM_BUCKETS + 2;
+
+/// Storage slot of a non-negative sample: the `f64` bit pattern shifted
+/// so the biased exponent and the top [`SUB_BITS`] mantissa bits remain —
+/// monotone in the sample, so slots are ordered.
+#[inline]
+fn slot_of(v: f64) -> usize {
+    if !(v.is_finite() && v >= 0.0) {
+        // NaN and negatives are clamped into the tails; samples here are
+        // all physical non-negative quantities, so this is a guard, not a
+        // code path that real instrumentation exercises.
+        return if v.is_nan() || v < 0.0 {
+            UNDERFLOW
+        } else {
+            OVERFLOW
+        };
+    }
+    let key = v.to_bits() >> (52 - SUB_BITS);
+    if key < MIN_KEY {
+        UNDERFLOW
+    } else {
+        let idx = (key - MIN_KEY) as usize + 1;
+        idx.min(OVERFLOW)
+    }
+}
+
+/// Lower edge of a regular bucket index (1-based, `1..=NUM_BUCKETS`).
+fn bucket_lo(idx: usize) -> f64 {
+    f64::from_bits((MIN_KEY + (idx as u64 - 1)) << (52 - SUB_BITS))
+}
+
+/// Upper edge of a regular bucket index.
+fn bucket_hi(idx: usize) -> f64 {
+    f64::from_bits((MIN_KEY + idx as u64) << (52 - SUB_BITS))
+}
+
+/// One shard of histogram state: per-bucket counts plus a bit-CAS `f64`
+/// sum (relaxed; only folded at snapshot time).
+struct HistShard {
+    buckets: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+}
+
+impl HistShard {
+    fn new() -> Self {
+        HistShard {
+            buckets: (0..SLOTS).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn add_sum(&self, v: f64) {
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// A named log-bucketed histogram over non-negative `f64` samples,
+/// sharded per thread. Geometric buckets (4 per power of two) cover
+/// `2^-64 ..= 2^64` with under/overflow tails; quantiles are answered to
+/// within one bucket (≲ 19 % relative error).
+pub struct Histogram {
+    name: &'static str,
+    shards: Vec<HistShard>,
+}
+
+impl Histogram {
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn register(name: &'static str) -> &'static Histogram {
+        let mut list = registry().histograms.lock().expect("histogram registry");
+        if let Some(h) = list.iter().find(|h| h.name == name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram {
+            name,
+            shards: (0..NUM_SHARDS).map(|_| HistShard::new()).collect(),
+        }));
+        list.push(h);
+        h
+    }
+
+    /// The histogram's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample when metrics are enabled: one relaxed
+    /// `fetch_add` on the bucket plus a relaxed CAS on the shard sum.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        if metrics_enabled() {
+            let shard = &self.shards[shard_index()];
+            shard.buckets[slot_of(v)].fetch_add(1, Ordering::Relaxed);
+            shard.add_sum(v);
+        }
+    }
+
+    /// Starts a scoped timer recording seconds into this histogram on
+    /// drop — a no-op (no clock read) unless [`spans_enabled`].
+    pub fn span(&'static self) -> Span {
+        Span {
+            start: spans_enabled().then(Instant::now),
+            histogram: self,
+        }
+    }
+
+    /// Times `f`, recording its wall time in seconds (level-gated like
+    /// [`Histogram::span`]).
+    pub fn time<R>(&'static self, f: impl FnOnce() -> R) -> R {
+        let _span = self.span();
+        f()
+    }
+
+    /// Folds the shards into an immutable dump.
+    pub fn dump(&self) -> HistogramDump {
+        let mut folded = vec![0u64; SLOTS];
+        let mut sum = 0.0;
+        for shard in &self.shards {
+            for (acc, b) in folded.iter_mut().zip(&shard.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            sum += f64::from_bits(shard.sum_bits.load(Ordering::Relaxed));
+        }
+        let buckets: Vec<Bucket> = folded
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(idx, &count)| {
+                let (lo, hi) = match idx {
+                    UNDERFLOW => (0.0, bucket_lo(1)),
+                    i if i == OVERFLOW => (bucket_hi(NUM_BUCKETS), f64::INFINITY),
+                    i => (bucket_lo(i), bucket_hi(i)),
+                };
+                Bucket { lo, hi, count }
+            })
+            .collect();
+        HistogramDump {
+            name: self.name.to_string(),
+            count: buckets.iter().map(|b| b.count).sum(),
+            sum,
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        for shard in &self.shards {
+            for b in &shard.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            shard.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// A scoped span timer: measures from construction to drop and records
+/// the elapsed seconds into its histogram. Inert (no clock read at all)
+/// unless the level is [`Level::Full`].
+pub struct Span {
+    start: Option<Instant>,
+    histogram: &'static Histogram,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.histogram.record(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+// ----------------------------------------------------------------- dumps
+
+/// One non-empty histogram bucket: `lo <= sample < hi`, `count` samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge (`INFINITY` for the overflow tail).
+    pub hi: f64,
+    /// Samples that landed in the bucket.
+    pub count: u64,
+}
+
+impl Bucket {
+    /// The bucket's representative value: the geometric midpoint for
+    /// regular buckets, the finite edge for the tails.
+    pub fn mid(&self) -> f64 {
+        if self.lo == 0.0 {
+            self.hi
+        } else if self.hi.is_infinite() {
+            self.lo
+        } else {
+            (self.lo * self.hi).sqrt()
+        }
+    }
+}
+
+/// An immutable fold of one histogram: sparse non-empty buckets in
+/// ascending order, total count, and exact sum. Mergeable — dumps of the
+/// same metric from different runs or processes can be added.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramDump {
+    /// Registered metric name.
+    pub name: String,
+    /// Total number of samples.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: f64,
+    /// Non-empty buckets, ascending by `lo`.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramDump {
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Lower edge of the lowest non-empty bucket (a lower bound on the
+    /// true minimum), `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.buckets.first().map(|b| b.lo)
+    }
+
+    /// Upper edge of the highest non-empty bucket (an upper bound on the
+    /// true maximum), `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.buckets.last().map(|b| b.hi)
+    }
+
+    /// The `q`-quantile by nearest rank over the bucket representatives,
+    /// `None` when empty. Accurate to one bucket width (≲ 19 %).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= rank {
+                return Some(b.mid());
+            }
+        }
+        self.buckets.last().map(Bucket::mid)
+    }
+
+    /// Adds `other`'s samples into this dump. Bucket edges come from the
+    /// shared bucketing scheme, so alignment is by `lo`.
+    ///
+    /// # Panics
+    /// Panics when the dumps are of different metrics.
+    pub fn merge(&mut self, other: &HistogramDump) {
+        assert_eq!(self.name, other.name, "merging different histograms");
+        let mut merged: Vec<Bucket> = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            let take_self = j >= other.buckets.len()
+                || (i < self.buckets.len() && self.buckets[i].lo <= other.buckets[j].lo);
+            let b = if take_self {
+                let b = self.buckets[i].clone();
+                i += 1;
+                b
+            } else {
+                let b = other.buckets[j].clone();
+                j += 1;
+                b
+            };
+            match merged.last_mut() {
+                Some(last) if last.lo == b.lo => last.count += b.count,
+                _ => merged.push(b),
+            }
+        }
+        self.buckets = merged;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A point-in-time fold of every registered metric, sorted by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSnapshot {
+    /// `(name, total)` per registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// One dump per registered histogram.
+    pub histograms: Vec<HistogramDump>,
+}
+
+/// Folds every registered counter and histogram into a snapshot. Metrics
+/// register on first use, so a snapshot taken before any instrumented
+/// code ran is empty.
+pub fn snapshot() -> ObsSnapshot {
+    let reg = registry();
+    let mut counters: Vec<(String, u64)> = reg
+        .counters
+        .lock()
+        .expect("counter registry")
+        .iter()
+        .map(|c| (c.name.to_string(), c.value()))
+        .collect();
+    counters.sort();
+    let mut histograms: Vec<HistogramDump> = reg
+        .histograms
+        .lock()
+        .expect("histogram registry")
+        .iter()
+        .map(|h| h.dump())
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    ObsSnapshot {
+        counters,
+        histograms,
+    }
+}
+
+/// Zeroes every registered counter and histogram (registration is kept).
+pub fn reset() {
+    let reg = registry();
+    for c in reg.counters.lock().expect("counter registry").iter() {
+        c.reset();
+    }
+    for h in reg.histograms.lock().expect("histogram registry").iter() {
+        h.reset();
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// The `&'static Counter` named by the literal, interned per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::Counter::register($name))
+    }};
+}
+
+/// The `&'static Histogram` named by the literal, interned per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::Histogram::register($name))
+    }};
+}
+
+/// A scoped [`Span`] timer recording seconds into the named histogram;
+/// bind it (`let _span = span!("phase");`) so it drops at scope end.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::histogram!($name).span()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Level is process-global; tests that flip it serialize here so the
+    /// parallel runner cannot interleave them.
+    fn with_level<R>(l: Level, f: impl FnOnce() -> R) -> R {
+        static GUARD: Mutex<()> = Mutex::new(());
+        let _g = GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = level();
+        set_level(l);
+        let r = f();
+        set_level(prev);
+        r
+    }
+
+    #[test]
+    fn level_parsing_is_pure() {
+        assert_eq!(level_from(None), Level::Off);
+        assert_eq!(level_from(Some("")), Level::Off);
+        assert_eq!(level_from(Some("0")), Level::Off);
+        assert_eq!(level_from(Some("1")), Level::Metrics);
+        assert_eq!(level_from(Some("metrics")), Level::Metrics);
+        assert_eq!(level_from(Some("2")), Level::Full);
+        assert_eq!(level_from(Some("full")), Level::Full);
+        assert_eq!(level_from(Some(" 1 ")), Level::Metrics);
+        assert_eq!(level_from(Some("nonsense")), Level::Off);
+    }
+
+    #[test]
+    fn disabled_counter_records_nothing() {
+        with_level(Level::Off, || {
+            let c = Counter::register("test.disabled");
+            let before = c.value();
+            c.add(42);
+            c.incr();
+            assert_eq!(c.value(), before);
+        });
+    }
+
+    #[test]
+    fn counter_sums_across_threads() {
+        with_level(Level::Metrics, || {
+            let c = Counter::register("test.threads");
+            c.reset();
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        for _ in 0..1000 {
+                            c.incr();
+                        }
+                    });
+                }
+            });
+            assert_eq!(c.value(), 8000);
+        });
+    }
+
+    #[test]
+    fn registration_deduplicates_by_name() {
+        let a = Counter::register("test.dedupe");
+        let b = Counter::register("test.dedupe");
+        assert!(std::ptr::eq(a, b));
+        let h1 = Histogram::register("test.hdedupe");
+        let h2 = Histogram::register("test.hdedupe");
+        assert!(std::ptr::eq(h1, h2));
+    }
+
+    #[test]
+    fn macro_handles_are_interned() {
+        let a = counter!("test.macro");
+        let b = counter!("test.macro");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log_spaced_and_ordered() {
+        // Slot mapping is monotone and brackets every positive sample.
+        let mut prev = 0;
+        for &v in &[1e-30, 1e-3, 0.5, 1.0, 1.5, 2.0, 100.0, 1e12] {
+            let s = slot_of(v);
+            assert!(s >= prev, "slot({v}) = {s} not monotone");
+            prev = s;
+            if s != UNDERFLOW && s != OVERFLOW {
+                assert!(bucket_lo(s) <= v && v < bucket_hi(s), "{v} outside bucket");
+            }
+        }
+        assert_eq!(slot_of(0.0), UNDERFLOW);
+        assert_eq!(slot_of(f64::INFINITY), OVERFLOW);
+        assert_eq!(slot_of(1e300), OVERFLOW);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_accurate() {
+        with_level(Level::Metrics, || {
+            let h = Histogram::register("test.quantiles");
+            h.reset();
+            for i in 1..=1000 {
+                h.record(i as f64);
+            }
+            let d = h.dump();
+            assert_eq!(d.count, 1000);
+            assert!((d.sum - 500_500.0).abs() < 1e-6);
+            let p50 = d.quantile(0.5).unwrap();
+            assert!((400.0..700.0).contains(&p50), "p50 {p50}");
+            let p99 = d.quantile(0.99).unwrap();
+            assert!((800.0..1400.0).contains(&p99), "p99 {p99}");
+            assert!(d.min().unwrap() <= 1.0);
+            assert!(d.max().unwrap() >= 1000.0);
+            assert!((d.mean().unwrap() - 500.5).abs() < 1e-6);
+        });
+    }
+
+    #[test]
+    fn histogram_dump_merge_matches_combined_recording() {
+        with_level(Level::Metrics, || {
+            let a = Histogram::register("test.merge.a");
+            let b = Histogram::register("test.merge.b");
+            let both = Histogram::register("test.merge.both");
+            a.reset();
+            b.reset();
+            both.reset();
+            for i in 1..=100 {
+                let v = (i as f64) * 0.37;
+                if i % 2 == 0 {
+                    a.record(v);
+                } else {
+                    b.record(v);
+                }
+                both.record(v);
+            }
+            let mut merged = a.dump();
+            let mut other = b.dump();
+            // Rename so merge's same-metric check passes; the bucket
+            // layout is scheme-global, not per-histogram.
+            merged.name = "m".into();
+            other.name = "m".into();
+            merged.merge(&other);
+            let combined = both.dump();
+            assert_eq!(merged.count, combined.count);
+            assert!((merged.sum - combined.sum).abs() < 1e-9);
+            let merged_counts: Vec<(u64, u64)> = merged
+                .buckets
+                .iter()
+                .map(|bk| (bk.lo.to_bits(), bk.count))
+                .collect();
+            let combined_counts: Vec<(u64, u64)> = combined
+                .buckets
+                .iter()
+                .map(|bk| (bk.lo.to_bits(), bk.count))
+                .collect();
+            assert_eq!(merged_counts, combined_counts);
+        });
+    }
+
+    #[test]
+    fn span_records_only_at_full_level() {
+        let h = Histogram::register("test.span");
+        with_level(Level::Metrics, || {
+            h.reset();
+            h.time(|| std::hint::black_box(1 + 1));
+            assert_eq!(h.dump().count, 0, "spans must stay off at Metrics");
+        });
+        with_level(Level::Full, || {
+            h.reset();
+            h.time(|| std::hint::black_box(1 + 1));
+            assert_eq!(h.dump().count, 1);
+            assert!(h.dump().sum >= 0.0);
+        });
+    }
+
+    #[test]
+    fn snapshot_and_reset_cover_the_registry() {
+        with_level(Level::Metrics, || {
+            let c = Counter::register("test.snapshot.counter");
+            let h = Histogram::register("test.snapshot.hist");
+            c.reset();
+            h.reset();
+            c.add(7);
+            h.record(2.5);
+            let snap = snapshot();
+            let cv = snap
+                .counters
+                .iter()
+                .find(|(n, _)| n == "test.snapshot.counter")
+                .expect("counter registered");
+            assert_eq!(cv.1, 7);
+            let hv = snap
+                .histograms
+                .iter()
+                .find(|d| d.name == "test.snapshot.hist")
+                .expect("histogram registered");
+            assert_eq!(hv.count, 1);
+            reset();
+            assert_eq!(c.value(), 0);
+            assert_eq!(h.dump().count, 0);
+        });
+    }
+
+    #[test]
+    fn snapshot_names_are_sorted() {
+        let _ = Counter::register("test.zz");
+        let _ = Counter::register("test.aa");
+        let snap = snapshot();
+        let names: Vec<&String> = snap.counters.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

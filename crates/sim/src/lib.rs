@@ -31,7 +31,11 @@ use std::sync::Arc;
 /// scoped threads, preserving input order in the output.
 ///
 /// # Panics
-/// Panics when `threads` is zero, and propagates panics from `f`.
+/// Panics when `threads` is zero. A panic in `f` is re-raised on the
+/// caller's thread with its *original payload* (the first one in chunk
+/// order when several workers panic), so `catch_unwind` callers and test
+/// harnesses see the real message rather than the scope's generic
+/// "a scoped thread panicked".
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Send + Sync,
@@ -43,18 +47,35 @@ where
     if n == 0 {
         return Vec::new();
     }
+    leo_obs::counter!("sim.parallel_map_calls").incr();
+    leo_obs::counter!("sim.items_processed").add(n as u64);
     let chunk = n.div_ceil(threads);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|s| {
-        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            let f = &f;
-            s.spawn(move || {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
+    let first_panic = std::thread::scope(|s| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .map(|(slot_chunk, item_chunk)| {
+                let f = &f;
+                s.spawn(move || {
+                    let _busy = leo_obs::histogram!("sim.worker_busy_s").span();
+                    for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                        *slot = Some(f(item));
+                    }
+                })
+            })
+            .collect();
+        // Join every handle explicitly: a panic left unjoined would make
+        // the scope itself panic with a generic message, discarding the
+        // worker's payload. All handles must be joined (not just up to
+        // the first error), so collect before picking the first payload
+        // in chunk order to re-raise below.
+        let panics: Vec<_> = handles.into_iter().filter_map(|h| h.join().err()).collect();
+        panics.into_iter().next()
     });
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
     out.into_iter().map(|r| r.expect("slot filled")).collect()
 }
 
@@ -63,7 +84,15 @@ where
 /// (capped at 16 — the sweeps are memory-bandwidth-bound well before
 /// that).
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("LEO_THREADS") {
+    threads_from(std::env::var("LEO_THREADS").ok().as_deref())
+}
+
+/// The `LEO_THREADS` decision as a pure function of the variable's value
+/// (`None` = unset). Split out so tests and the experiment harness's CLI
+/// layer never have to mutate the process environment, which is racy
+/// under the parallel test runner.
+pub fn threads_from(value: Option<&str>) -> usize {
+    if let Some(v) = value {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n > 0 {
                 return n;
@@ -178,6 +207,8 @@ impl<'a> TimeSweep<'a> {
     /// come from the service's snapshot cache, so a second call (or a
     /// concurrent session touching the same instants) reuses them.
     pub fn prepare(&self) -> Vec<Arc<SnapshotView>> {
+        let _span = leo_obs::span!("sim.prepare_s");
+        leo_obs::counter!("sim.sweep_instants").add(self.times.len() as u64);
         parallel_map(self.times.clone(), self.threads, |&t| self.service.view(t))
     }
 
@@ -277,6 +308,38 @@ mod tests {
             views.iter().map(|(t, _)| t).collect()
         });
         assert_eq!(order, vec![vec![0.0, 30.0, 60.0]]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_panic_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(vec![1, 2, 3, 4], 2, |&x| {
+                if x == 3 {
+                    panic!("item {x} exploded");
+                }
+                x
+            })
+        })
+        .expect_err("worker panic must propagate");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("payload must be the worker's formatted message");
+        assert_eq!(msg, "item 3 exploded");
+    }
+
+    #[test]
+    fn parallel_map_reports_first_panic_in_chunk_order() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map((0..8).collect::<Vec<i32>>(), 4, |&x| {
+                if x % 2 == 1 {
+                    panic!("odd item {x}");
+                }
+                x
+            })
+        })
+        .expect_err("worker panic must propagate");
+        let msg = caught.downcast_ref::<String>().expect("formatted message");
+        assert_eq!(msg, "odd item 1");
     }
 
     #[test]
