@@ -32,18 +32,28 @@ pub struct RunConfig {
     /// Where results and manifests go (`--out-dir`, `LEO_OUT_DIR`,
     /// default `results`).
     pub out_dir: PathBuf,
+    /// Environment values that did not parse cleanly and what the run
+    /// fell back to. Printed to stderr at startup and recorded in the
+    /// manifest, so a typo'd `LEO_THREADS=eight` is visible in the run's
+    /// paper trail instead of silently benchmarking on the default pool.
+    pub warnings: Vec<String>,
 }
 
 impl RunConfig {
-    /// Reads the process arguments and environment.
+    /// Reads the process arguments and environment, reporting any
+    /// mis-set variables on stderr.
     pub fn from_env() -> RunConfig {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        RunConfig::from_parts(
+        let config = RunConfig::from_parts(
             &args,
             std::env::var("LEO_QUICK").ok().as_deref(),
             std::env::var("LEO_THREADS").ok().as_deref(),
             std::env::var("LEO_OUT_DIR").ok().as_deref(),
-        )
+        );
+        for w in &config.warnings {
+            eprintln!("warning: {w}");
+        }
+        config
     }
 
     /// The same decision as a pure function of the inputs (`None` =
@@ -55,7 +65,26 @@ impl RunConfig {
         threads_env: Option<&str>,
         out_env: Option<&str>,
     ) -> RunConfig {
+        let mut warnings = Vec::new();
         let quick = args.iter().any(|a| a == "--quick") || crate::quick_mode_from(quick_env);
+        if let Some(v) = quick_env {
+            // Anything but "0"/"" enables quick mode (historical
+            // contract); flag values outside the documented {"", "0",
+            // "1"} so a stray `LEO_QUICK=o` is not mistaken for "off".
+            if !matches!(v, "" | "0" | "1") {
+                warnings.push(format!(
+                    "LEO_QUICK={v:?} is not \"0\" or \"1\"; treating it as quick mode ON"
+                ));
+            }
+        }
+        let threads = leo_sim::threads_from(threads_env);
+        if let Some(v) = threads_env {
+            if v.trim().parse::<usize>().ok().is_none_or(|n| n == 0) {
+                warnings.push(format!(
+                    "LEO_THREADS={v:?} is not a positive integer; using {threads} worker threads"
+                ));
+            }
+        }
         let out_dir = args
             .iter()
             .position(|a| a == "--out-dir")
@@ -66,8 +95,9 @@ impl RunConfig {
             .into();
         RunConfig {
             quick,
-            threads: leo_sim::threads_from(threads_env),
+            threads,
             out_dir,
+            warnings,
         }
     }
 }
@@ -153,6 +183,7 @@ impl Run {
             name: self.name.clone(),
             quick: self.config.quick,
             threads: self.config.threads,
+            config_warnings: self.config.warnings.clone(),
             obs_level: level_name(leo_obs::level()).to_string(),
             total_s: self.started.elapsed().as_secs_f64(),
             phases: self.phases.clone(),
@@ -241,6 +272,9 @@ pub struct RunManifest {
     pub quick: bool,
     /// Worker-pool size the run used.
     pub threads: usize,
+    /// Configuration values that did not parse and the fallbacks taken
+    /// (see [`RunConfig::warnings`]). Empty on a clean run.
+    pub config_warnings: Vec<String>,
     /// Observability level: `off`, `metrics`, or `full`.
     pub obs_level: String,
     /// Total wall-clock seconds from `Run::start` to `Run::finish`.
@@ -310,7 +344,51 @@ mod tests {
 
     #[test]
     fn threads_env_flows_through() {
-        assert_eq!(cfg(&[], None, None).threads, 3);
+        let c = cfg(&[], None, None);
+        assert_eq!(c.threads, 3);
+        assert!(c.warnings.is_empty(), "clean env warns: {:?}", c.warnings);
+    }
+
+    #[test]
+    fn garbage_threads_env_warns_and_falls_back() {
+        for bad in ["eight", "0", "-2", "3.5", ""] {
+            let args: Vec<String> = Vec::new();
+            let c = RunConfig::from_parts(&args, None, Some(bad), None);
+            assert_eq!(c.threads, leo_sim::threads_from(None), "value {bad:?}");
+            assert_eq!(c.warnings.len(), 1, "value {bad:?}");
+            assert!(
+                c.warnings[0].contains("LEO_THREADS") && c.warnings[0].contains("positive"),
+                "warning text: {}",
+                c.warnings[0]
+            );
+        }
+        // Whitespace-padded integers parse; no warning.
+        let c = RunConfig::from_parts(&[], None, Some(" 5 "), None);
+        assert_eq!((c.threads, c.warnings.len()), (5, 0));
+    }
+
+    #[test]
+    fn odd_quick_env_warns_but_still_enables_quick_mode() {
+        for (v, expect_quick) in [("yes", true), ("o", true), ("TRUE", true)] {
+            let c = RunConfig::from_parts(&[], Some(v), Some("3"), None);
+            assert_eq!(c.quick, expect_quick, "value {v:?}");
+            assert_eq!(c.warnings.len(), 1, "value {v:?}");
+            assert!(c.warnings[0].contains("LEO_QUICK"));
+        }
+        for v in ["", "0", "1"] {
+            let c = RunConfig::from_parts(&[], Some(v), Some("3"), None);
+            assert!(c.warnings.is_empty(), "documented value {v:?} warned");
+        }
+    }
+
+    #[test]
+    fn warnings_land_in_the_manifest() {
+        let args: Vec<String> = Vec::new();
+        let config = RunConfig::from_parts(&args, Some("maybe"), Some("many"), None);
+        assert_eq!(config.warnings.len(), 2);
+        let run = Run::with_config("t", config.clone());
+        let m = run.manifest();
+        assert_eq!(m.config_warnings, config.warnings);
     }
 
     #[test]
@@ -321,6 +399,7 @@ mod tests {
                 quick: true,
                 threads: 2,
                 out_dir: PathBuf::from("results"),
+                warnings: Vec::new(),
             },
         );
         let x = run.phase("a", || 1 + 1);
@@ -340,6 +419,7 @@ mod tests {
             name: "fig9".into(),
             quick: false,
             threads: 8,
+            config_warnings: vec!["LEO_THREADS=\"x\" is not a positive integer".into()],
             obs_level: "metrics".into(),
             total_s: 1.25,
             phases: vec![PhaseRecord {

@@ -53,6 +53,21 @@ impl FailureModel {
     pub fn alive(&self, sat: SatId, t: f64) -> bool {
         t < self.failure_time_s(sat)
     }
+
+    /// Lowers this model into a [`leo_net::FailureSchedule`] over the
+    /// first `num_sats` satellites — the bridge from the session-layer
+    /// failure model to the network-layer fault plan. The same seeded
+    /// draws that kill servers in [`run_session_with_failures`] then also
+    /// mask them out of routing, visibility, and attachment when the
+    /// schedule is handed to
+    /// [`InOrbitService::with_faults`](crate::InOrbitService::with_faults).
+    pub fn schedule(&self, num_sats: usize) -> leo_net::FailureSchedule {
+        leo_net::FailureSchedule::from_death_times(
+            (0..num_sats)
+                .map(|i| self.failure_time_s(SatId(i as u32)))
+                .collect(),
+        )
+    }
 }
 
 /// What failure injection did to a session.
@@ -201,6 +216,26 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         assert!((6.5..15.0).contains(&mean_years), "mean {mean_years}");
+    }
+
+    #[test]
+    fn schedule_bridge_agrees_with_the_model() {
+        let m = FailureModel {
+            annual_failure_rate: 500.0,
+            seed: 9,
+        };
+        let sched = m.schedule(64);
+        assert_eq!(sched.len(), 64);
+        for i in 0..64u32 {
+            let id = SatId(i);
+            assert_eq!(sched.death_time_s(id), m.failure_time_s(id));
+            for t in [0.0, 3600.0, 86_400.0, 1e9] {
+                assert_eq!(sched.alive(id, t), m.alive(id, t), "sat {i} at t={t}");
+            }
+        }
+        // Out-of-range satellites default to alive, matching a fleet that
+        // grew after the schedule was drawn.
+        assert!(sched.alive(SatId(64), 1e12));
     }
 
     #[test]

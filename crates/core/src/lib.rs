@@ -44,6 +44,7 @@ pub mod service;
 pub mod session;
 pub mod stats;
 
+pub use failover::{FailoverReport, FailureModel};
 pub use selection::{GroupDelays, Policy, StickyParams};
 pub use service::{InOrbitService, SnapshotView};
 pub use session::{HandoffEvent, SessionConfig, SessionResult};

@@ -127,7 +127,9 @@ impl GroupDelays {
             .filter(|(_, &d)| d.is_finite() && d <= bound)
             .map(|(i, &d)| (SatId(i as u32), d))
             .collect();
-        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        // Delay ties (two satellites at the exact same group delay) break
+        // by SatId so the candidate order is a pure function of the set.
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         out
     }
 }
@@ -213,6 +215,41 @@ pub fn candidate_lifetimes(
     lifetimes
 }
 
+/// Sticky step 2's ranking, factored out so determinism is testable:
+/// order `(satellite, group delay)` candidates by lifetime (longest
+/// first), breaking ties by group delay (lowest first) and finally by
+/// `SatId`, and keep the top `pool`. Returns `(satellite, lifetime)`
+/// pairs. The explicit tie-breaks make the finalist pool a pure function
+/// of the candidate *set*, independent of the order candidates arrive in
+/// — lookahead sampling quantizes lifetimes to the step size, so exact
+/// ties are the common case, not a corner one.
+pub fn rank_by_lifetime(
+    candidates: &[(SatId, f64)],
+    lifetimes: &[f64],
+    pool: usize,
+) -> Vec<(SatId, f64)> {
+    assert_eq!(
+        candidates.len(),
+        lifetimes.len(),
+        "one lifetime per candidate"
+    );
+    let mut ranked: Vec<(SatId, f64, f64)> = candidates
+        .iter()
+        .zip(lifetimes)
+        .map(|(&(sat, delay), &lifetime)| (sat, delay, lifetime))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.2.total_cmp(&a.2)
+            .then(a.1.total_cmp(&b.1))
+            .then(a.0.cmp(&b.0))
+    });
+    ranked.truncate(pool.max(1));
+    ranked
+        .into_iter()
+        .map(|(sat, _, lifetime)| (sat, lifetime))
+        .collect()
+}
+
 /// Runs the full Sticky selection at time `t0` under the
 /// direct-visibility session model, returning the chosen server, or
 /// `None` when no satellite currently serves the whole group.
@@ -238,9 +275,7 @@ pub fn sticky_select(
 
     // Step 2: keep the pool_size longest-lived candidates.
     let lifetimes = candidate_lifetimes(service, users, t0, &ids, params);
-    let mut ranked: Vec<(SatId, f64)> = ids.iter().copied().zip(lifetimes).collect();
-    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-    ranked.truncate(params.pool_size.max(1));
+    let ranked = rank_by_lifetime(&candidates, &lifetimes, params.pool_size);
 
     // Step 3: among finalists, minimize the hand-off latency to each
     // one's successor at its own death time. The migration may relay
@@ -375,6 +410,50 @@ mod tests {
         for lt in lifetimes {
             assert!((0.0..=240.0).contains(&lt));
         }
+    }
+
+    #[test]
+    fn within_slack_breaks_delay_ties_by_sat_id() {
+        // Satellites 1 and 3 tie exactly; the candidate list must order
+        // them by id, not by float whim.
+        let g = GroupDelays::from_user_delays(&[vec![2.0, 1.5, 9.0, 1.5, 1.0]]);
+        let ids: Vec<u32> = g
+            .within_slack(f64::INFINITY)
+            .iter()
+            .map(|&(s, _)| s.0)
+            .collect();
+        assert_eq!(ids, vec![4, 1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn ranking_is_independent_of_candidate_order() {
+        // Lifetimes quantized to the lookahead step tie constantly; the
+        // finalist pool must be a function of the set, not the arrival
+        // order.
+        let forward: Vec<(SatId, f64)> = vec![
+            (SatId(2), 0.010),
+            (SatId(7), 0.010),
+            (SatId(1), 0.011),
+            (SatId(9), 0.012),
+        ];
+        let lifetimes_fwd = vec![120.0, 120.0, 120.0, 60.0];
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let lifetimes_rev: Vec<f64> = lifetimes_fwd.iter().rev().copied().collect();
+        let a = rank_by_lifetime(&forward, &lifetimes_fwd, 3);
+        let b = rank_by_lifetime(&reversed, &lifetimes_rev, 3);
+        assert_eq!(a, b);
+        // lifetime desc, then delay asc, then SatId asc.
+        assert_eq!(
+            a.iter().map(|&(s, _)| s.0).collect::<Vec<_>>(),
+            vec![2, 7, 1]
+        );
+    }
+
+    #[test]
+    fn rank_pool_of_zero_still_yields_one_finalist() {
+        let ranked = rank_by_lifetime(&[(SatId(3), 0.01)], &[30.0], 0);
+        assert_eq!(ranked, vec![(SatId(3), 30.0)]);
     }
 
     #[test]

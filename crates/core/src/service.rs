@@ -2,8 +2,9 @@
 //! provider.
 
 use leo_constellation::{Constellation, SatId, Snapshot};
-use leo_geo::Geodetic;
+use leo_geo::{look, Geodetic};
 use leo_net::engine::{with_thread_arena, GroundLinks, IslWeights, RoutingEngine};
+use leo_net::fault::{FaultConfig, FaultPlan};
 use leo_net::routing::{self, GroundEndpoint};
 use leo_net::visibility::{self, VisibleSat};
 use leo_net::{IslTopology, NetworkGraph, VisibilityIndex};
@@ -22,6 +23,10 @@ pub struct SnapshotView {
     index: VisibilityIndex,
     engine: Arc<RoutingEngine>,
     isl: IslWeights,
+    /// The outage mask at this instant, when the owning service carries
+    /// a fault scenario. `None` keeps every code path on the exact
+    /// pre-fault route.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl SnapshotView {
@@ -32,15 +37,50 @@ impl SnapshotView {
         engine: &Arc<RoutingEngine>,
         t: f64,
     ) -> SnapshotView {
+        Self::build_with(constellation, engine, t, None)
+    }
+
+    /// [`SnapshotView::build`] under an optional fault scenario: the
+    /// scenario's plan at `t` masks the refreshed ISL weights and rides
+    /// along for the view's visibility and attachment queries.
+    pub fn build_with(
+        constellation: &Constellation,
+        engine: &Arc<RoutingEngine>,
+        t: f64,
+        faults: Option<&FaultConfig>,
+    ) -> SnapshotView {
         let snapshot = constellation.snapshot(t);
         let index = VisibilityIndex::build(constellation, &snapshot);
-        let isl = engine.refresh(&snapshot);
-        SnapshotView {
-            snapshot,
-            index,
-            engine: Arc::clone(engine),
-            isl,
+        match faults {
+            None => {
+                let isl = engine.refresh(&snapshot);
+                SnapshotView {
+                    snapshot,
+                    index,
+                    engine: Arc::clone(engine),
+                    isl,
+                    fault: None,
+                }
+            }
+            Some(cfg) => {
+                let plan = cfg.plan_at(t);
+                let mut isl = IslWeights::default();
+                engine.refresh_into_masked(&snapshot, &plan, &mut isl);
+                SnapshotView {
+                    snapshot,
+                    index,
+                    engine: Arc::clone(engine),
+                    isl,
+                    fault: Some(Arc::new(plan)),
+                }
+            }
         }
+    }
+
+    /// The outage mask at this instant, when the owning service carries
+    /// a fault scenario.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_deref()
     }
 
     /// The propagated positions.
@@ -64,10 +104,14 @@ impl SnapshotView {
     }
 
     /// Wires ground endpoints into the routing node space through this
-    /// view's visibility index. Attach once per query group, then run any
-    /// number of delay queries against the result.
+    /// view's visibility index (honoring the view's fault plan, if any).
+    /// Attach once per query group, then run any number of delay queries
+    /// against the result.
     pub fn attach(&self, grounds: &[GroundEndpoint]) -> GroundLinks {
-        self.engine.attach(&self.index, grounds)
+        match &self.fault {
+            Some(plan) => self.engine.attach_masked(&self.index, grounds, plan),
+            None => self.engine.attach(&self.index, grounds),
+        }
     }
 
     /// One-way delay between two satellites at this instant — over the
@@ -128,6 +172,7 @@ pub struct InOrbitService {
     constellation: Constellation,
     topology: IslTopology,
     engine: Arc<RoutingEngine>,
+    faults: Option<Arc<FaultConfig>>,
     cache: Mutex<HashMap<u64, Arc<SnapshotView>>>,
 }
 
@@ -137,6 +182,7 @@ impl Clone for InOrbitService {
             constellation: self.constellation.clone(),
             topology: self.topology.clone(),
             engine: Arc::clone(&self.engine),
+            faults: self.faults.clone(),
             // Cached views are immutable and Arc-shared; cloning the map
             // is a handful of pointer bumps.
             cache: Mutex::new(self.cache.lock().expect("cache lock").clone()),
@@ -148,14 +194,35 @@ impl InOrbitService {
     /// Wraps a constellation, building its +Grid ISL topology and
     /// compiling the CSR routing engine over it.
     pub fn new(constellation: Constellation) -> Self {
+        Self::with_fault_option(constellation, None)
+    }
+
+    /// [`InOrbitService::new`] under a fault scenario: every view the
+    /// service builds carries the scenario's outage mask at its instant,
+    /// so routing, visibility, selection, and sessions all see dead
+    /// satellites, cut ISLs, and rain fades. A scenario with no faults
+    /// still routes queries through the masked entry points (which
+    /// delegate to the unmasked ones), so outputs stay byte-identical to
+    /// a plain service — the property `tests/fault_injection.rs` pins.
+    pub fn with_faults(constellation: Constellation, faults: FaultConfig) -> Self {
+        Self::with_fault_option(constellation, Some(Arc::new(faults)))
+    }
+
+    fn with_fault_option(constellation: Constellation, faults: Option<Arc<FaultConfig>>) -> Self {
         let topology = IslTopology::plus_grid(&constellation);
         let engine = Arc::new(RoutingEngine::compile(&constellation, &topology));
         InOrbitService {
             constellation,
             topology,
             engine,
+            faults,
             cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The fault scenario this service runs under, if any.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_deref()
     }
 
     /// The compiled CSR routing engine (static topology; weights are
@@ -174,7 +241,12 @@ impl InOrbitService {
             leo_obs::counter!("service.snapshot_hits").incr();
             return Arc::clone(v);
         }
-        let built = Arc::new(SnapshotView::build(&self.constellation, &self.engine, t));
+        let built = Arc::new(SnapshotView::build_with(
+            &self.constellation,
+            &self.engine,
+            t,
+            self.faults.as_deref(),
+        ));
         let mut cache = self.cache.lock().expect("cache lock");
         if cache.len() >= SNAPSHOT_CACHE_CAP {
             cache.clear();
@@ -221,20 +293,69 @@ impl InOrbitService {
     }
 
     /// Satellite-servers directly reachable from a ground point at `t`,
-    /// answered through the cached spatial index.
+    /// answered through the cached spatial index. Under a fault scenario,
+    /// dead satellites and rain-faded access links are excluded.
     pub fn reachable_servers(&self, ground: Geodetic, t: f64) -> Vec<VisibleSat> {
-        self.view(t).index().query(ground.to_ecef_spherical())
+        let view = self.view(t);
+        let ge = ground.to_ecef_spherical();
+        match view.fault_plan() {
+            Some(plan) => view.index().query_masked(ge, plan),
+            None => view.index().query(ge),
+        }
     }
 
     /// Same as [`InOrbitService::reachable_servers`] against a prebuilt
     /// snapshot (avoids re-propagating when the caller already has one).
     pub fn reachable_servers_in(&self, snapshot: &Snapshot, ground: Geodetic) -> Vec<VisibleSat> {
-        visibility::visible_sats(
-            &self.constellation,
-            snapshot,
-            ground,
-            ground.to_ecef_spherical(),
-        )
+        let ge = ground.to_ecef_spherical();
+        match self.plan_in(snapshot) {
+            Some(plan) => {
+                visibility::visible_sats_masked(&self.constellation, snapshot, ground, ge, &plan)
+            }
+            None => visibility::visible_sats(&self.constellation, snapshot, ground, ge),
+        }
+    }
+
+    /// The fault plan governing a prebuilt snapshot: the service's
+    /// scenario evaluated at the snapshot's own instant. `None` for a
+    /// plain service, so unmasked paths stay exactly as before.
+    fn plan_in(&self, snapshot: &Snapshot) -> Option<FaultPlan> {
+        self.faults
+            .as_deref()
+            .map(|cfg| cfg.plan_at(snapshot.time_s))
+    }
+
+    /// ISL weights for a prebuilt snapshot, masked by the service's fault
+    /// scenario when one is set.
+    fn refresh_for(&self, snapshot: &Snapshot, plan: Option<&FaultPlan>) -> IslWeights {
+        match plan {
+            Some(plan) => {
+                let mut weights = IslWeights::default();
+                self.engine
+                    .refresh_into_masked(snapshot, plan, &mut weights);
+                weights
+            }
+            None => self.engine.refresh(snapshot),
+        }
+    }
+
+    /// Ground attachment for a prebuilt snapshot, honoring the fault
+    /// scenario when one is set.
+    fn attach_for(
+        &self,
+        snapshot: &Snapshot,
+        grounds: &[GroundEndpoint],
+        plan: Option<&FaultPlan>,
+    ) -> GroundLinks {
+        match plan {
+            Some(plan) => {
+                self.engine
+                    .attach_scan_masked(&self.constellation, snapshot, grounds, plan)
+            }
+            None => self
+                .engine
+                .attach_scan(&self.constellation, snapshot, grounds),
+        }
     }
 
     /// The full network graph at a snapshot with the given ground
@@ -252,10 +373,9 @@ impl InOrbitService {
     /// [`InOrbitService::user_delays_view`], which reuses the weights
     /// already refreshed in the cached [`SnapshotView`].
     pub fn user_delays(&self, snapshot: &Snapshot, users: &[GroundEndpoint]) -> Vec<Vec<f64>> {
-        let weights = self.engine.refresh(snapshot);
-        let links = self
-            .engine
-            .attach_scan(&self.constellation, snapshot, users);
+        let plan = self.plan_in(snapshot);
+        let weights = self.refresh_for(snapshot, plan.as_ref());
+        let links = self.attach_for(snapshot, users, plan.as_ref());
         with_thread_arena(|arena| self.engine.delays_from_all(&weights, &links, arena))
     }
 
@@ -272,7 +392,13 @@ impl InOrbitService {
         if a == b {
             return Some(0.0);
         }
-        let weights = self.engine.refresh(snapshot);
+        let plan = self.plan_in(snapshot);
+        if let Some(p) = &plan {
+            if p.sat_dead(a) || p.sat_dead(b) {
+                return None;
+            }
+        }
+        let weights = self.refresh_for(snapshot, plan.as_ref());
         with_thread_arena(|arena| self.engine.sat_to_sat_delay(&weights, None, a, b, arena))
     }
 
@@ -306,10 +432,14 @@ impl InOrbitService {
         if a == b {
             return Some(0.0);
         }
-        let weights = self.engine.refresh(snapshot);
-        let links = self
-            .engine
-            .attach_scan(&self.constellation, snapshot, grounds);
+        let plan = self.plan_in(snapshot);
+        if let Some(p) = &plan {
+            if p.sat_dead(a) || p.sat_dead(b) {
+                return None;
+            }
+        }
+        let weights = self.refresh_for(snapshot, plan.as_ref());
+        let links = self.attach_for(snapshot, grounds, plan.as_ref());
         with_thread_arena(|arena| {
             self.engine
                 .sat_to_sat_delay(&weights, Some(&links), a, b, arena)
@@ -345,12 +475,24 @@ impl InOrbitService {
         snapshot: &Snapshot,
         users: &[GroundEndpoint],
     ) -> Vec<Vec<f64>> {
+        let plan = self.plan_in(snapshot);
         users
             .iter()
             .map(|u| {
                 let mut row = vec![f64::INFINITY; self.constellation.num_satellites()];
-                for v in visibility::visible_sats(&self.constellation, snapshot, u.geodetic, u.ecef)
-                {
+                let visible = match &plan {
+                    Some(plan) => visibility::visible_sats_masked(
+                        &self.constellation,
+                        snapshot,
+                        u.geodetic,
+                        u.ecef,
+                        plan,
+                    ),
+                    None => {
+                        visibility::visible_sats(&self.constellation, snapshot, u.geodetic, u.ecef)
+                    }
+                };
+                for v in visible {
                     row[v.id.0 as usize] = v.delay_s();
                 }
                 row
@@ -370,11 +512,45 @@ impl InOrbitService {
             .iter()
             .map(|u| {
                 let mut row = vec![f64::INFINITY; self.constellation.num_satellites()];
-                view.index()
-                    .for_each_visible(u.ecef, |v| row[v.id.0 as usize] = v.delay_s());
+                match view.fault_plan() {
+                    Some(plan) => view.index().for_each_visible_masked(u.ecef, plan, |v| {
+                        row[v.id.0 as usize] = v.delay_s()
+                    }),
+                    None => view
+                        .index()
+                        .for_each_visible(u.ecef, |v| row[v.id.0 as usize] = v.delay_s()),
+                }
                 row
             })
             .collect()
+    }
+
+    /// True when the fault plan of `view` rules out `sat` as a server for
+    /// this user group: the satellite is dead, or some user's access link
+    /// to it is rain-faded shut. Geometric invisibility is *not* a fault —
+    /// the session layer already hands off on that — so satellites no user
+    /// could see anyway return `false`. Always `false` without a plan,
+    /// keeping fault-free sessions byte-identical.
+    pub fn fault_masked_server(
+        &self,
+        view: &SnapshotView,
+        users: &[GroundEndpoint],
+        sat: SatId,
+    ) -> bool {
+        let Some(plan) = view.fault_plan() else {
+            return false;
+        };
+        if plan.is_empty() {
+            return false;
+        }
+        if plan.sat_dead(sat) {
+            return true;
+        }
+        let pos = view.snapshot().position(sat);
+        let min_el = self.constellation.min_elevation_of(sat);
+        users.iter().any(|u| {
+            look::is_visible_spherical(u.ecef, pos, min_el) && plan.access_link_masked(u.ecef, pos)
+        })
     }
 }
 
@@ -466,6 +642,75 @@ mod tests {
         let s2 = s.clone();
         let b = s2.view(10.0);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn faultless_fault_config_changes_nothing() {
+        let plain = service();
+        let faulted =
+            InOrbitService::with_faults(presets::starlink_550_only(), FaultConfig::none());
+        let g = Geodetic::ground(6.52, 3.38);
+        assert_eq!(
+            plain.reachable_servers(g, 60.0),
+            faulted.reachable_servers(g, 60.0)
+        );
+        let users = [GroundEndpoint::new(0, g)];
+        let snap = plain.snapshot(60.0);
+        assert_eq!(
+            plain.user_delays(&snap, &users),
+            faulted.user_delays(&faulted.snapshot(60.0), &users)
+        );
+        assert!(faulted.view(60.0).fault_plan().unwrap().is_empty());
+    }
+
+    #[test]
+    fn dead_satellite_is_excluded_from_every_query() {
+        let plain = service();
+        let g = Geodetic::ground(0.0, 0.0);
+        let victim = plain.reachable_servers(g, 0.0)[0].id;
+        let mut deaths = vec![f64::INFINITY; victim.0 as usize + 1];
+        deaths[victim.0 as usize] = 0.0;
+        let cfg = FaultConfig {
+            schedule: Some(leo_net::FailureSchedule::from_death_times(deaths)),
+            ..FaultConfig::none()
+        };
+        let s = InOrbitService::with_faults(presets::starlink_550_only(), cfg);
+        assert!(s.reachable_servers(g, 0.0).iter().all(|v| v.id != victim));
+        let snap = s.snapshot(0.0);
+        assert!(s
+            .reachable_servers_in(&snap, g)
+            .iter()
+            .all(|v| v.id != victim));
+        assert_eq!(s.server_to_server_delay(&snap, SatId(0), victim), None);
+        let users = [GroundEndpoint::new(0, g)];
+        let delays = s.user_delays(&snap, &users);
+        assert!(delays[0][victim.0 as usize].is_infinite());
+        let direct = s.user_direct_delays_view(&s.view(0.0), &users);
+        assert!(direct[0][victim.0 as usize].is_infinite());
+        assert!(s.fault_masked_server(&s.view(0.0), &users, victim));
+        assert!(!plain.fault_masked_server(&plain.view(0.0), &users, victim));
+    }
+
+    #[test]
+    fn total_ground_outage_masks_every_server_in_view() {
+        let mut cfg = FaultConfig::none();
+        cfg.cut_links.push((SatId(0), SatId(1)));
+        let s = InOrbitService::with_faults(presets::starlink_550_only(), cfg);
+        let view = s.view(0.0);
+        let g = Geodetic::ground(0.0, 0.0);
+        let users = [GroundEndpoint::new(0, g)];
+        // A cut ISL is not an access fault: no server is masked for users.
+        let up = s.user_direct_delays_view(&view, &users);
+        let plain = service();
+        assert_eq!(up, plain.user_direct_delays_view(&plain.view(0.0), &users));
+        // But the cut edge itself is gone from the mesh.
+        let before = plain
+            .server_to_server_delay(&plain.snapshot(0.0), SatId(0), SatId(1))
+            .unwrap();
+        let after = s
+            .server_to_server_delay(&s.snapshot(0.0), SatId(0), SatId(1))
+            .unwrap();
+        assert!(after >= before);
     }
 
     #[test]

@@ -156,6 +156,13 @@ pub fn run_session(
         if current != Some(desired) {
             let transfer_latency_ms = current.and_then(|old| {
                 let view = service.view(t);
+                // Attribute the hand-off to the fault layer when the old
+                // server was taken out by it (death or rain-faded access
+                // link) rather than by orbital motion. No-op without a
+                // fault plan, so fault-free counter totals are unchanged.
+                if service.fault_masked_server(&view, users, old) {
+                    leo_obs::counter!("fault.handoffs").incr();
+                }
                 service
                     .migration_delay_view(&view, users, old, desired)
                     .map(|d| d * 1e3)

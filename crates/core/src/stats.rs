@@ -51,9 +51,12 @@ impl Cdf {
         self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
     }
 
-    /// The `q`-quantile, `q ∈ [0, 1]`, by nearest-rank; `None` when empty.
+    /// The `q`-quantile by nearest-rank; `None` when empty or `q` is NaN.
+    /// Out-of-range `q` clamps to `[0, 1]` (so `q ≤ 0` is the minimum,
+    /// `q ≥ 1` the maximum) — NaN, which `clamp` would silently pass
+    /// through to index 0 disguised as the minimum, is refused instead.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.sorted.is_empty() {
+        if self.sorted.is_empty() || q.is_nan() {
             return None;
         }
         let q = q.clamp(0.0, 1.0);
@@ -181,6 +184,17 @@ mod tests {
         assert_eq!(cdf.mean(), Some(42.0));
         assert_eq!(cdf.min(), cdf.max());
         assert_eq!(cdf.curve(), vec![(42.0, 1.0)]);
+    }
+
+    #[test]
+    fn nan_quantile_is_none_not_the_minimum() {
+        let cdf = Cdf::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(cdf.quantile(f64::NAN), None);
+        assert_eq!(cdf.quantile(-f64::NAN), None);
+        // Non-NaN out-of-range values still clamp.
+        assert_eq!(cdf.quantile(f64::NEG_INFINITY), Some(1.0));
+        assert_eq!(cdf.quantile(f64::INFINITY), Some(3.0));
+        assert_eq!(Cdf::new(vec![]).quantile(f64::NAN), None);
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! End-to-end properties of the fault-injection layer.
+//!
+//! Three contracts the unit tests cannot pin alone:
+//!
+//! 1. **No masked traversal** — every delay the masked engine reports
+//!    equals the shortest path over a reference graph from which the
+//!    masked satellites, cut ISLs, and faded access links were *removed
+//!    before* Dijkstra ran. Routing around the mask is therefore exact,
+//!    not best-effort.
+//! 2. **Empty plan = no plan** — a service carrying a fault scenario
+//!    that masks nothing produces byte-identical session results to a
+//!    service with no fault layer at all.
+//! 3. **Fade-forced re-selection** — Sticky drops a held server whose
+//!    access link rains out, not just one that dies or sets.
+
+use leo_constellation::{presets, SatId};
+use leo_core::session::run_session;
+use leo_core::{FailureModel, InOrbitService, Policy, SessionConfig};
+use leo_geo::Geodetic;
+use leo_net::routing::GroundEndpoint;
+use leo_net::visibility::visible_sats_masked;
+use leo_net::weather::LinkBudget;
+use leo_net::{FaultConfig, FaultPlan, NetworkGraph, NodeId, RainFade};
+
+fn users() -> Vec<GroundEndpoint> {
+    vec![
+        GroundEndpoint::new(0, Geodetic::ground(9.06, 7.49)),
+        GroundEndpoint::new(1, Geodetic::ground(3.87, 11.52)),
+        GroundEndpoint::new(2, Geodetic::ground(6.52, 3.38)),
+    ]
+}
+
+/// The ground truth: a graph with every masked element *absent*, so its
+/// shortest paths cannot traverse them by construction.
+fn reference_graph(
+    service: &InOrbitService,
+    snapshot: &leo_constellation::Snapshot,
+    grounds: &[GroundEndpoint],
+    plan: &FaultPlan,
+) -> NetworkGraph {
+    let c = service.constellation();
+    let mut net = NetworkGraph::new();
+    for sat in c.satellites() {
+        net.add_node(NodeId::Sat(sat.id));
+    }
+    for (edge, len) in service.topology().active_edges(snapshot) {
+        if !plan.isl_edge_masked(edge.a, edge.b) {
+            net.add_edge_distance(NodeId::Sat(edge.a), NodeId::Sat(edge.b), len);
+        }
+    }
+    for gp in grounds {
+        net.add_node(gp.node());
+        for v in visible_sats_masked(c, snapshot, gp.geodetic, gp.ecef, plan) {
+            net.add_edge_distance(gp.node(), NodeId::Sat(v.id), v.range_m);
+        }
+    }
+    net
+}
+
+#[test]
+fn masked_routes_equal_shortest_paths_on_the_masked_graph() {
+    // A scenario with all three fault kinds live at once: a failure
+    // schedule that has already killed a band of satellites, two cut
+    // ISLs, and a rain fade that raises the access mask.
+    let mut cfg = FaultConfig::none();
+    cfg.schedule = Some(
+        FailureModel {
+            annual_failure_rate: 4000.0,
+            seed: 17,
+        }
+        .schedule(1584),
+    );
+    cfg.cut_links.push((SatId(100), SatId(101)));
+    cfg.cut_links.push((SatId(40), SatId(62)));
+    cfg.rain = Some(RainFade {
+        budget: LinkBudget::CONSUMER,
+        rain_rate_mm_h: 10.0,
+    });
+    let service = InOrbitService::with_faults(presets::starlink_550_only(), cfg.clone());
+    let grounds = users();
+
+    for t in [0.0, 1800.0, 3600.0] {
+        let view = service.view(t);
+        let plan = view.fault_plan().expect("fault service carries a plan");
+        // λ = 4000/yr kills ~20 % of the fleet per half hour; t = 0
+        // exercises the cuts+rain-only plan instead.
+        assert!(
+            t == 0.0 || plan.num_dead() > 0,
+            "schedule should have killed sats by t={t}"
+        );
+        let reference = reference_graph(&service, view.snapshot(), &grounds, plan);
+        let links = view.attach(&grounds);
+
+        // Ground-to-ground: every pair, both directions.
+        for i in 0..grounds.len() {
+            for j in 0..grounds.len() {
+                if i == j {
+                    continue;
+                }
+                let engine = view.ground_to_ground_delay(&links, i, j);
+                let reference_path = reference.shortest_path(grounds[i].node(), grounds[j].node());
+                match (engine, reference_path) {
+                    (Some(d), Some(p)) => {
+                        assert!(
+                            (d - p.delay_s).abs() <= 1e-12 * p.delay_s.max(1.0),
+                            "t={t} {i}->{j}: engine {d} vs reference {}",
+                            p.delay_s
+                        );
+                        for node in &p.nodes {
+                            if let NodeId::Sat(s) = node {
+                                assert!(!plan.sat_dead(*s), "path crosses dead {s}");
+                            }
+                        }
+                    }
+                    (None, None) => {}
+                    (e, r) => panic!("t={t} {i}->{j}: engine {e:?} vs reference {r:?}"),
+                }
+            }
+        }
+
+        // Sat-to-sat over the masked ISL mesh, including dead endpoints.
+        let probes = [
+            (SatId(0), SatId(700)),
+            (SatId(100), SatId(101)),
+            (SatId(40), SatId(62)),
+            (SatId(3), SatId(1583)),
+        ];
+        for (a, b) in probes {
+            let engine = view.sat_to_sat_delay(None, a, b);
+            let reference_d = reference
+                .shortest_path(NodeId::Sat(a), NodeId::Sat(b))
+                .map(|p| p.delay_s);
+            match (engine, reference_d) {
+                (Some(d), Some(r)) => {
+                    // The reference graph includes ground nodes; a
+                    // sat-to-sat route must not use them, so recheck on
+                    // path nodes instead of delay when they differ.
+                    let path = reference
+                        .shortest_path(NodeId::Sat(a), NodeId::Sat(b))
+                        .unwrap();
+                    if path.nodes.iter().all(|n| matches!(n, NodeId::Sat(_))) {
+                        assert!(
+                            (d - r).abs() <= 1e-12 * r.max(1.0),
+                            "t={t} {a}->{b}: engine {d} vs reference {r}"
+                        );
+                    } else {
+                        assert!(d >= r - 1e-12, "ISL-only route beat the relayed one");
+                    }
+                }
+                (None, None) => {}
+                (Some(d), None) => panic!("t={t} {a}->{b}: engine found {d}, reference none"),
+                (None, Some(_)) => {
+                    // Reference may relay through ground; the ISL-only
+                    // query is allowed to fail where the mesh is severed.
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dead_endpoints_are_unreachable_not_rerouted() {
+    let mut cfg = FaultConfig::none();
+    cfg.schedule = Some(
+        FailureModel {
+            annual_failure_rate: 4000.0,
+            seed: 17,
+        }
+        .schedule(1584),
+    );
+    let service = InOrbitService::with_faults(presets::starlink_550_only(), cfg);
+    let view = service.view(3600.0);
+    let plan = view.fault_plan().unwrap();
+    let dead: Vec<SatId> = (0..1584)
+        .map(|i| SatId(i as u32))
+        .filter(|&s| plan.sat_dead(s))
+        .collect();
+    assert!(!dead.is_empty());
+    for &d in dead.iter().take(5) {
+        assert_eq!(view.sat_to_sat_delay(None, SatId(0), d), None);
+        assert_eq!(
+            service.server_to_server_delay(view.snapshot(), SatId(0), d),
+            None
+        );
+    }
+}
+
+#[test]
+fn empty_fault_plan_sessions_are_byte_identical() {
+    let plain = InOrbitService::new(presets::starlink_550_only());
+    let mut cfg = FaultConfig::none();
+    // A schedule where nothing ever dies: plans are empty, but every
+    // query flows through the masked entry points.
+    cfg.schedule = Some(leo_net::FailureSchedule::never(1584));
+    let faulted = InOrbitService::with_faults(presets::starlink_550_only(), cfg);
+    let session = SessionConfig {
+        start_s: 0.0,
+        duration_s: 600.0,
+        tick_s: 10.0,
+    };
+    for policy in [Policy::MinMax, Policy::sticky_default()] {
+        let a = run_session(&plain, &users(), policy, &session);
+        let b = run_session(&faulted, &users(), policy, &session);
+        let a_text = serde_json::to_string(&a).unwrap();
+        let b_text = serde_json::to_string(&b).unwrap();
+        assert_eq!(
+            a_text,
+            b_text,
+            "{} diverged under an empty plan",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn sticky_reselects_when_the_access_link_fades() {
+    // A ~46° rain mask (14 mm/h on the consumer budget) forces servers
+    // out of service well above the 25° geometric horizon, so holds
+    // shorten and hand-offs multiply — without any satellite dying.
+    let mut cfg = FaultConfig::none();
+    cfg.rain = Some(RainFade {
+        budget: LinkBudget::CONSUMER,
+        rain_rate_mm_h: 14.0,
+    });
+    let clear = InOrbitService::new(presets::starlink_550_only());
+    let rainy = InOrbitService::with_faults(presets::starlink_550_only(), cfg);
+    let session = SessionConfig {
+        start_s: 0.0,
+        duration_s: 1800.0,
+        tick_s: 10.0,
+    };
+    let single_user = vec![GroundEndpoint::new(0, Geodetic::ground(6.52, 3.38))];
+
+    let prev = leo_obs::level();
+    leo_obs::set_level(leo_obs::Level::Metrics);
+    let clear_run = run_session(&clear, &single_user, Policy::sticky_default(), &session);
+    let handoffs_before = fault_handoff_count();
+    let rainy_run = run_session(&rainy, &single_user, Policy::sticky_default(), &session);
+    let handoffs_after = fault_handoff_count();
+    leo_obs::set_level(prev);
+
+    // Rain shortens holds and punches service gaps; both show up as
+    // extra events (hand-offs + re-acquisitions).
+    assert!(
+        rainy_run.events.len() > clear_run.events.len(),
+        "rain fade must disrupt the session: rainy {} vs clear {} events",
+        rainy_run.events.len(),
+        clear_run.events.len()
+    );
+    assert!(
+        handoffs_after > handoffs_before,
+        "fade-forced hand-offs must be attributed to the fault layer"
+    );
+    // And the session never *holds* a faulted server across a tick: at
+    // each event the acquired satellite is unmasked at acquisition time.
+    for e in &rainy_run.events {
+        let view = rainy.view(e.time_s);
+        assert!(
+            !rainy.fault_masked_server(&view, &single_user, e.to),
+            "acquired a rain-masked server at t={}",
+            e.time_s
+        );
+    }
+}
+
+fn fault_handoff_count() -> u64 {
+    leo_obs::snapshot()
+        .counters
+        .into_iter()
+        .find(|(name, _)| name == "fault.handoffs")
+        .map(|(_, v)| v)
+        .unwrap_or(0)
+}

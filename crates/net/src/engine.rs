@@ -29,10 +29,11 @@
 //! association of path sums from the same source vertex. A property test
 //! in `tests/engine_vs_graph.rs` pins this on randomized snapshots.
 
+use crate::fault::FaultPlan;
 use crate::index::VisibilityIndex;
 use crate::isl::{line_of_sight_clear, IslTopology};
 use crate::routing::GroundEndpoint;
-use crate::visibility::visible_sats;
+use crate::visibility::{visible_sats, visible_sats_masked};
 use leo_constellation::{Constellation, SatId, Snapshot};
 use leo_geo::consts::SPEED_OF_LIGHT_M_S;
 use std::cmp::Reverse;
@@ -379,6 +380,39 @@ impl RoutingEngine {
         }
     }
 
+    /// [`RoutingEngine::refresh_into`] under a fault plan: after the
+    /// geometric refresh, every masked edge — a dead endpoint or a cut
+    /// link — is forced to `INFINITY`, so no search can relax through
+    /// it. With an empty plan this *is* `refresh_into`, bit for bit.
+    pub fn refresh_into_masked(
+        &self,
+        snapshot: &Snapshot,
+        plan: &FaultPlan,
+        weights: &mut IslWeights,
+    ) {
+        self.refresh_into(snapshot, weights);
+        if plan.is_empty() {
+            return;
+        }
+        let mut masked = 0u64;
+        let mut min_finite = f64::INFINITY;
+        for (e, &(a, b)) in self.edge_ends.iter().enumerate() {
+            if plan.isl_edge_masked(SatId(a), SatId(b)) {
+                if weights.delays[e].is_finite() {
+                    masked += 1;
+                }
+                weights.delays[e] = f64::INFINITY;
+            } else {
+                min_finite = min_finite.min(weights.delays[e]);
+            }
+        }
+        weights.min_finite = min_finite;
+        for (slot, &e) in self.edge_of_slot.iter().enumerate() {
+            weights.slots[slot] = weights.delays[e as usize];
+        }
+        leo_obs::counter!("fault.masked_isl_edges").add(masked);
+    }
+
     /// Wires `grounds` into the node space through a prebuilt
     /// [`VisibilityIndex`] — the hot path: every [`SnapshotView`] already
     /// carries one.
@@ -387,6 +421,23 @@ impl RoutingEngine {
     pub fn attach(&self, index: &VisibilityIndex, grounds: &[GroundEndpoint]) -> GroundLinks {
         self.attach_from(grounds, |gp, out| {
             index.for_each_visible(gp.ecef, |v| out.push((v.id.0, v.range_m)));
+        })
+    }
+
+    /// [`RoutingEngine::attach`] under a fault plan: dead satellites and
+    /// rain-faded access links contribute no up/down links. Delegates to
+    /// the unmasked path when the plan is empty.
+    pub fn attach_masked(
+        &self,
+        index: &VisibilityIndex,
+        grounds: &[GroundEndpoint],
+        plan: &FaultPlan,
+    ) -> GroundLinks {
+        if plan.is_empty() {
+            return self.attach(index, grounds);
+        }
+        self.attach_from(grounds, |gp, out| {
+            index.for_each_visible_masked(gp.ecef, plan, |v| out.push((v.id.0, v.range_m)));
         })
     }
 
@@ -400,6 +451,25 @@ impl RoutingEngine {
     ) -> GroundLinks {
         self.attach_from(grounds, |gp, out| {
             for v in visible_sats(constellation, snapshot, gp.geodetic, gp.ecef) {
+                out.push((v.id.0, v.range_m));
+            }
+        })
+    }
+
+    /// [`RoutingEngine::attach_scan`] under a fault plan (brute-force
+    /// mirror of [`RoutingEngine::attach_masked`]).
+    pub fn attach_scan_masked(
+        &self,
+        constellation: &Constellation,
+        snapshot: &Snapshot,
+        grounds: &[GroundEndpoint],
+        plan: &FaultPlan,
+    ) -> GroundLinks {
+        if plan.is_empty() {
+            return self.attach_scan(constellation, snapshot, grounds);
+        }
+        self.attach_from(grounds, |gp, out| {
+            for v in visible_sats_masked(constellation, snapshot, gp.geodetic, gp.ecef, plan) {
                 out.push((v.id.0, v.range_m));
             }
         })
@@ -921,6 +991,106 @@ mod tests {
             engine.sat_to_sat_delay(&weights, None, SatId(9), SatId(9), &mut arena),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn empty_plan_refresh_is_bit_identical() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(450.0);
+        let plain = engine.refresh(&snap);
+        let mut masked = IslWeights::default();
+        engine.refresh_into_masked(&snap, &FaultPlan::empty(), &mut masked);
+        assert_eq!(plain.delays, masked.delays);
+        assert_eq!(plain.slots, masked.slots);
+        assert_eq!(
+            plain.min_finite.to_bits(),
+            masked.min_finite.to_bits(),
+            "min_finite must match bitwise"
+        );
+    }
+
+    #[test]
+    fn dead_satellite_loses_every_edge() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(0.0);
+        let mut plan = FaultPlan::empty();
+        plan.kill(SatId(100));
+        let mut w = IslWeights::default();
+        engine.refresh_into_masked(&snap, &plan, &mut w);
+        for (e, &(a, b)) in engine.edge_ends.iter().enumerate() {
+            if a == 100 || b == 100 {
+                assert!(w.delay_s(e).is_infinite(), "edge {a}-{b} must be masked");
+            }
+        }
+        let plain = engine.refresh(&snap);
+        assert_eq!(plain.active_edges(), w.active_edges() + 4, "+Grid degree 4");
+    }
+
+    #[test]
+    fn cut_link_masks_exactly_that_edge() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(0.0);
+        let plain = engine.refresh(&snap);
+        let (a, b) = engine.edge_ends[0];
+        let mut plan = FaultPlan::empty();
+        plan.cut_link(SatId(a), SatId(b));
+        let mut w = IslWeights::default();
+        engine.refresh_into_masked(&snap, &plan, &mut w);
+        assert!(w.delay_s(0).is_infinite());
+        for e in 1..engine.num_edges() {
+            assert_eq!(w.delay_s(e), plain.delay_s(e), "edge {e} untouched");
+        }
+    }
+
+    #[test]
+    fn masked_routes_avoid_the_dead_satellite() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(0.0);
+        let dead = SatId(50);
+        let (a, b) = (SatId(49), SatId(51));
+        let plain = engine.refresh(&snap);
+        let mut plan = FaultPlan::empty();
+        plan.kill(dead);
+        let mut w = IslWeights::default();
+        engine.refresh_into_masked(&snap, &plan, &mut w);
+        let mut arena = DijkstraArena::new();
+        // The dead satellite has no usable edge left, so it is simply
+        // unreachable over the masked mesh.
+        assert_eq!(engine.sat_to_sat_delay(&w, None, a, dead, &mut arena), None);
+        // Its neighbors stay mutually reachable around it, at a delay no
+        // better than the unmasked mesh offered.
+        let before = engine
+            .sat_to_sat_delay(&plain, None, a, b, &mut arena)
+            .unwrap();
+        let after = engine.sat_to_sat_delay(&w, None, a, b, &mut arena).unwrap();
+        assert!(after.is_finite() && after >= before);
+    }
+
+    #[test]
+    fn masked_attach_drops_dead_and_keeps_the_rest() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(300.0);
+        let index = VisibilityIndex::build(&c, &snap);
+        let g = endpoint(0, 0.0, 0.0);
+        let plain = engine.attach(&index, &[g]);
+        let visible = plain.up_of(0).to_vec();
+        assert!(visible.len() >= 2);
+        let dead = SatId(visible[0].0);
+        let mut plan = FaultPlan::empty();
+        plan.kill(dead);
+        let masked = engine.attach_masked(&index, &[g], &plan);
+        let kept: Vec<(u32, f64)> = masked.up_of(0).to_vec();
+        assert_eq!(kept.len(), visible.len() - 1);
+        assert!(kept.iter().all(|&(s, _)| s != dead.0));
+        // Scan mirror agrees as a set (the index emits band order, the
+        // scan emits id order — same links either way).
+        let scanned = engine.attach_scan_masked(&c, &snap, &[g], &plan);
+        let sort = |links: &GroundLinks| {
+            let mut v = links.up_of(0).to_vec();
+            v.sort_by_key(|a| a.0);
+            v
+        };
+        assert_eq!(sort(&scanned), sort(&masked));
     }
 
     #[test]

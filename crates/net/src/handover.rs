@@ -100,11 +100,17 @@ pub struct ServeSlot {
 /// longest, and ride it until it sets. This minimizes the hand-over
 /// count for a single ground station (greedy interval covering, which
 /// is optimal for this objective).
+///
+/// Window boundaries are strict: no slot starts at `end_s` and no slot
+/// collapses to zero length — a pass that merely grazes the window (or
+/// a degenerate single-sample pass with `rise_s == set_s`) contributes
+/// nothing.
 pub fn handover_schedule(passes: &[Pass], start_s: f64, end_s: f64) -> Vec<ServeSlot> {
     let mut slots = Vec::new();
     let mut t = start_s;
     while t < end_s {
-        // Among passes covering t, take the one that sets last.
+        // Among passes covering t, take the one that sets last. The
+        // `set_s > t` bound drops zero-length passes outright.
         let best = passes
             .iter()
             .filter(|p| p.rise_s <= t + 1e-9 && p.set_s > t)
@@ -112,6 +118,12 @@ pub fn handover_schedule(passes: &[Pass], start_s: f64, end_s: f64) -> Vec<Serve
         match best {
             Some(p) => {
                 let until = p.set_s.min(end_s);
+                if until <= t {
+                    // Defensive: a slot that cannot advance the clock
+                    // would loop forever; the filters above make this
+                    // unreachable, but a guard beats a hang.
+                    break;
+                }
                 slots.push(ServeSlot {
                     sat: p.sat,
                     from_s: t,
@@ -227,6 +239,53 @@ mod tests {
         for s in &slots {
             assert!(s.from_s >= 600.0 - 1e-9);
             assert!(s.until_s <= 1200.0 + 1e-9);
+        }
+    }
+
+    fn pass(sat: u32, rise_s: f64, set_s: f64) -> Pass {
+        Pass {
+            sat: SatId(sat),
+            rise_s,
+            set_s,
+            min_range_m: 600e3,
+        }
+    }
+
+    #[test]
+    fn zero_length_passes_produce_no_slots() {
+        // A single-sample pass (rise == set) covers no open interval.
+        let passes = [pass(0, 100.0, 100.0)];
+        assert!(handover_schedule(&passes, 0.0, 200.0).is_empty());
+        // Even amid real coverage it must not surface.
+        let mixed = [pass(0, 0.0, 50.0), pass(1, 50.0, 50.0), pass(2, 50.0, 90.0)];
+        let slots = handover_schedule(&mixed, 0.0, 90.0);
+        assert!(slots.iter().all(|s| s.until_s > s.from_s));
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[1].sat, SatId(2));
+    }
+
+    #[test]
+    fn no_slot_starts_at_the_window_end() {
+        // One pass ends exactly at end_s, the next rises there: the gap
+        // jump must not emit a slot beginning at end_s.
+        let passes = [pass(0, 0.0, 300.0), pass(1, 300.0, 600.0)];
+        let slots = handover_schedule(&passes, 0.0, 300.0);
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].until_s, 300.0);
+        // And a pass rising exactly at end_s contributes nothing either,
+        // even when it is the only pass.
+        let only = [pass(7, 300.0, 600.0)];
+        assert!(handover_schedule(&only, 0.0, 300.0).is_empty());
+    }
+
+    #[test]
+    fn schedule_slots_always_have_positive_length() {
+        let passes = passes_for(20.0, 50.0);
+        for (a, b) in [(0.0, 3600.0), (595.0, 605.0), (0.0, 10.0)] {
+            for s in handover_schedule(&passes, a, b) {
+                assert!(s.until_s > s.from_s, "zero-length slot {s:?}");
+                assert!(s.from_s < b, "slot starts at/after end_s: {s:?}");
+            }
         }
     }
 

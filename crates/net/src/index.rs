@@ -18,6 +18,7 @@
 //! the brute-force scan, so the result is bit-for-bit identical (a
 //! property test in `tests/` pins this).
 
+use crate::fault::FaultPlan;
 use crate::visibility::VisibleSat;
 use leo_constellation::{Constellation, SatId, Snapshot};
 use leo_geo::look;
@@ -81,6 +82,15 @@ impl VisibilityIndex {
     /// counting sort into latitude bands.
     pub fn build(constellation: &Constellation, snapshot: &Snapshot) -> VisibilityIndex {
         let num_satellites = snapshot.len();
+        if num_satellites == 0 {
+            // An empty snapshot (or a constellation with no shells) gets
+            // an index with no shell bands: every query returns nothing
+            // instead of tripping over empty band arrays.
+            return VisibilityIndex {
+                shells: Vec::new(),
+                num_satellites: 0,
+            };
+        }
         let mut shells: Vec<ShellBands> = constellation
             .shells()
             .iter()
@@ -184,6 +194,58 @@ impl VisibilityIndex {
         }
         leo_obs::counter!("visibility.candidates_scanned").add(scanned);
         leo_obs::counter!("visibility.returned").add(returned);
+    }
+
+    /// [`Self::query`] under a fault plan: dead satellites and rain-faded
+    /// access links are filtered out. Sorted by `SatId` like `query`.
+    pub fn query_masked(&self, ground_ecef: Ecef, plan: &FaultPlan) -> Vec<VisibleSat> {
+        let mut out = Vec::new();
+        self.for_each_visible_masked(ground_ecef, plan, |v| out.push(v));
+        out.sort_unstable_by_key(|v| v.id.0);
+        out
+    }
+
+    /// [`Self::for_each_visible`] under a fault plan: skips satellites
+    /// whose server is dead and those whose access link the plan's
+    /// ground fade cannot close. Candidates that are geometrically
+    /// servable at the shell elevation but masked are tallied in the
+    /// `fault.masked_access_links` counter. Delegates to the unmasked
+    /// scan — identical output and counters — when the plan is empty.
+    pub fn for_each_visible_masked<F: FnMut(VisibleSat)>(
+        &self,
+        ground_ecef: Ecef,
+        plan: &FaultPlan,
+        mut f: F,
+    ) {
+        if plan.is_empty() {
+            return self.for_each_visible(ground_ecef, f);
+        }
+        let glat = geocentric_latitude(ground_ecef);
+        let (mut scanned, mut returned, mut masked) = (0u64, 0u64, 0u64);
+        for sh in &self.shells {
+            let reach = sh.central_angle_rad + LAT_EPS_RAD;
+            let lo = sh.band_of((glat - reach).max(-std::f64::consts::FRAC_PI_2));
+            let hi = sh.band_of((glat + reach).min(std::f64::consts::FRAC_PI_2));
+            let start = sh.band_offsets[lo] as usize;
+            let end = sh.band_offsets[hi + 1] as usize;
+            scanned += (end - start) as u64;
+            for &(id, pos) in &sh.entries[start..end] {
+                let range = ground_ecef.distance_m(pos);
+                if range <= sh.max_range_m
+                    && look::is_visible_spherical(ground_ecef, pos, sh.min_elevation)
+                {
+                    if plan.sat_dead(id) || plan.access_link_masked(ground_ecef, pos) {
+                        masked += 1;
+                    } else {
+                        returned += 1;
+                        f(VisibleSat { id, range_m: range });
+                    }
+                }
+            }
+        }
+        leo_obs::counter!("visibility.candidates_scanned").add(scanned);
+        leo_obs::counter!("visibility.returned").add(returned);
+        leo_obs::counter!("fault.masked_access_links").add(masked);
     }
 
     /// Indexed version of [`crate::visibility::coverage_mask`]: marks the
@@ -312,5 +374,71 @@ mod tests {
         let snap = c.snapshot(0.0);
         let index = VisibilityIndex::build(&c, &snap);
         assert_eq!(index.num_satellites(), snap.len());
+    }
+
+    #[test]
+    fn empty_snapshot_builds_an_empty_index_without_panicking() {
+        // Regression: building over an empty snapshot/constellation must
+        // return an empty index, and every query on it must be empty.
+        let c = leo_constellation::Constellation::from_shells("empty", vec![]);
+        let snap = c.snapshot(0.0);
+        assert_eq!(snap.len(), 0);
+        let index = VisibilityIndex::build(&c, &snap);
+        assert_eq!(index.num_satellites(), 0);
+        for (_, ge) in grounds() {
+            assert!(index.query(ge).is_empty());
+            assert!(index.query_masked(ge, &FaultPlan::empty()).is_empty());
+        }
+        assert_eq!(index.coverage_mask(&[]), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn empty_plan_masked_query_equals_plain_query() {
+        let c = presets::starlink_550_only();
+        let snap = c.snapshot(137.0);
+        let index = VisibilityIndex::build(&c, &snap);
+        let plan = FaultPlan::empty();
+        for (_, ge) in grounds() {
+            assert_eq!(index.query_masked(ge, &plan), index.query(ge));
+        }
+    }
+
+    #[test]
+    fn masked_query_drops_dead_satellites_only() {
+        let c = presets::starlink_550_only();
+        let snap = c.snapshot(137.0);
+        let index = VisibilityIndex::build(&c, &snap);
+        let ge = Geodetic::ground(6.52, 3.38).to_ecef_spherical();
+        let plain = index.query(ge);
+        assert!(plain.len() >= 2);
+        let mut plan = FaultPlan::empty();
+        plan.kill(plain[0].id);
+        let masked = index.query_masked(ge, &plan);
+        let expect: Vec<_> = plain[1..].to_vec();
+        assert_eq!(masked, expect);
+    }
+
+    #[test]
+    fn ground_fade_raises_the_effective_elevation_mask() {
+        let c = presets::starlink_550_only();
+        let snap = c.snapshot(0.0);
+        let index = VisibilityIndex::build(&c, &snap);
+        let ge = Geodetic::ground(0.0, 0.0).to_ecef_spherical();
+        let mut plan = FaultPlan::empty();
+        plan.set_ground_fade(crate::fault::GroundFade::MinElevation(
+            leo_geo::Angle::from_degrees(60.0),
+        ));
+        let faded = index.query_masked(ge, &plan);
+        let plain = index.query(ge);
+        assert!(faded.len() < plain.len(), "a 60° mask must shrink the set");
+        for v in &faded {
+            assert!(look::is_visible_spherical(
+                ge,
+                snap.position(v.id),
+                leo_geo::Angle::from_degrees(60.0)
+            ));
+        }
+        plan.set_ground_fade(crate::fault::GroundFade::Outage);
+        assert!(index.query_masked(ge, &plan).is_empty());
     }
 }

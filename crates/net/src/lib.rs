@@ -34,12 +34,17 @@
 //!   schedules for the plain network service (§2).
 //! * [`weather`] — rain-fade link budgets and availability (§6's
 //!   unanalyzed weather question).
+//! * [`fault`] — outage masks over all of the above: dead satellites,
+//!   cut ISLs, and rain-faded access links ([`fault::FaultPlan`]),
+//!   consumed by the engine's masked weight refresh and the index's
+//!   masked visibility queries. An empty plan is a guaranteed no-op.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod des;
 pub mod engine;
+pub mod fault;
 pub mod graph;
 pub mod handover;
 pub mod index;
@@ -50,6 +55,7 @@ pub mod visibility;
 pub mod weather;
 
 pub use engine::{DijkstraArena, GroundLinks, IslWeights, RoutingEngine};
+pub use fault::{FailureSchedule, FaultConfig, FaultPlan, GroundFade, RainFade};
 pub use graph::{NetworkGraph, NodeId, Path};
 pub use index::VisibilityIndex;
 pub use isl::IslTopology;

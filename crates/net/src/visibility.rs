@@ -6,6 +6,7 @@
 //! drive Figs 1, 2, 4 and 5 of the paper and the server-selection
 //! algorithms in `leo-core`.
 
+use crate::fault::FaultPlan;
 use leo_constellation::{Constellation, SatId, Snapshot};
 use leo_geo::consts::SPEED_OF_LIGHT_M_S;
 use leo_geo::look;
@@ -66,6 +67,29 @@ pub fn visible_sats(
         }
     }
     out
+}
+
+/// [`visible_sats`] under a fault plan: satellites whose server is dead
+/// and links the plan's ground fade cannot close are filtered out. The
+/// brute-force mirror of
+/// [`VisibilityIndex::query_masked`](crate::index::VisibilityIndex::query_masked);
+/// identical to [`visible_sats`] when the plan is empty.
+pub fn visible_sats_masked(
+    constellation: &Constellation,
+    snapshot: &Snapshot,
+    ground: Geodetic,
+    ground_ecef: Ecef,
+    plan: &FaultPlan,
+) -> Vec<VisibleSat> {
+    if plan.is_empty() {
+        return visible_sats(constellation, snapshot, ground, ground_ecef);
+    }
+    visible_sats(constellation, snapshot, ground, ground_ecef)
+        .into_iter()
+        .filter(|v| {
+            !plan.sat_dead(v.id) && !plan.access_link_masked(ground_ecef, snapshot.position(v.id))
+        })
+        .collect()
 }
 
 /// The nearest visible satellite, if any.
@@ -162,6 +186,26 @@ mod tests {
             seen += visible_sats(&c, &snap, g, ge).len();
         }
         assert!(seen > 0, "no polar coverage in any sample");
+    }
+
+    #[test]
+    fn masked_visibility_filters_dead_and_faded() {
+        let c = presets::starlink_550_only();
+        let snap = c.snapshot(0.0);
+        let (g, ge) = ground(0.0, 0.0);
+        let plain = visible_sats(&c, &snap, g, ge);
+        assert!(plain.len() >= 2);
+        assert_eq!(
+            visible_sats_masked(&c, &snap, g, ge, &FaultPlan::empty()),
+            plain,
+            "empty plan is invisible"
+        );
+        let mut plan = FaultPlan::empty();
+        plan.kill(plain[0].id);
+        let masked = visible_sats_masked(&c, &snap, g, ge, &plan);
+        assert_eq!(masked, plain[1..].to_vec());
+        plan.set_ground_fade(crate::fault::GroundFade::Outage);
+        assert!(visible_sats_masked(&c, &snap, g, ge, &plan).is_empty());
     }
 
     #[test]

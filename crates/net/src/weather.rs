@@ -118,6 +118,34 @@ impl LinkBudget {
         rain_attenuation_db(elevation, rain_rate_mm_h) <= self.fade_margin_db
     }
 
+    /// The lowest elevation at which a link still closes under
+    /// `rain_rate_mm_h`, found by bisection (attenuation is monotone
+    /// decreasing in elevation: higher passes cross less rain).
+    ///
+    /// Returns `Angle::ZERO` when even a horizon-grazing link survives
+    /// (no fade restriction beyond the shell's own elevation mask) and
+    /// `None` when not even a zenith link closes — a total outage for
+    /// this budget at this rain rate.
+    pub fn min_surviving_elevation(&self, rain_rate_mm_h: f64) -> Option<Angle> {
+        let up = |deg: f64| self.link_up(Angle::from_degrees(deg), rain_rate_mm_h);
+        if !up(90.0) {
+            return None;
+        }
+        if up(0.0) {
+            return Some(Angle::ZERO);
+        }
+        let (mut lo, mut hi) = (0.0f64, 90.0f64); // link down at lo, up at hi
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if up(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(Angle::from_degrees(hi))
+    }
+
     /// Long-run availability (0–1) of a link at `elevation` in a
     /// climate: the fraction of time attenuation stays within the
     /// margin, found by bisecting the exceedance curve.
@@ -254,7 +282,59 @@ mod tests {
         );
     }
 
+    #[test]
+    fn min_surviving_elevation_is_zero_in_clear_sky() {
+        assert_eq!(
+            LinkBudget::CONSUMER.min_surviving_elevation(0.0),
+            Some(Angle::ZERO)
+        );
+    }
+
+    #[test]
+    fn min_surviving_elevation_brackets_the_link_budget() {
+        // 17 mm/h on a consumer budget: zenith survives, the horizon does
+        // not — the boundary must split exactly between up and down.
+        let b = LinkBudget::CONSUMER;
+        let e = b.min_surviving_elevation(17.0).expect("zenith survives");
+        assert!(e > Angle::ZERO && e < Angle::from_degrees(90.0));
+        assert!(b.link_up(Angle::from_degrees(e.degrees() + 0.01), 17.0));
+        assert!(!b.link_up(Angle::from_degrees(e.degrees() - 0.01), 17.0));
+    }
+
+    #[test]
+    fn tropical_downpour_is_a_total_outage_for_consumer_terminals() {
+        // 120 mm/h: >15 dB even at zenith, far over the 8 dB margin.
+        assert_eq!(LinkBudget::CONSUMER.min_surviving_elevation(120.0), None);
+    }
+
+    #[test]
+    fn more_margin_lowers_the_surviving_elevation() {
+        let rate = 17.0;
+        let c = LinkBudget::CONSUMER.min_surviving_elevation(rate).unwrap();
+        let g = LinkBudget::GATEWAY.min_surviving_elevation(rate).unwrap();
+        assert!(g <= c, "gateway {g:?} vs consumer {c:?}");
+    }
+
     proptest! {
+        #[test]
+        fn prop_min_surviving_elevation_is_consistent_with_link_up(
+            rate in 0.0..200.0f64,
+            margin in 1.0..30.0f64,
+        ) {
+            let b = LinkBudget { fade_margin_db: margin };
+            match b.min_surviving_elevation(rate) {
+                None => prop_assert!(!b.link_up(Angle::from_degrees(90.0), rate)),
+                Some(e) => {
+                    prop_assert!(b.link_up(
+                        Angle::from_degrees((e.degrees() + 0.01).min(90.0)), rate));
+                    if e > Angle::ZERO {
+                        prop_assert!(!b.link_up(
+                            Angle::from_degrees(e.degrees() - 0.01), rate));
+                    }
+                }
+            }
+        }
+
         #[test]
         fn prop_availability_is_a_probability(
             el in 5.0..90.0f64,
