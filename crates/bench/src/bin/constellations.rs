@@ -4,9 +4,10 @@
 //! compute provider" table the paper implies but never prints.
 //!
 //! Run: `cargo run -p leo-bench --release --bin constellations`
-//! (add `--quick` for coarse sampling).
+//! (add `--quick` for coarse sampling). Emits a run manifest
+//! (`results/constellations.meta.json`) like every other benchmark.
 
-use leo_bench::{quick_mode, write_results};
+use leo_bench::cli::Run;
 use leo_constellation::presets;
 use leo_core::access::{access_stats, SamplingConfig};
 use leo_core::InOrbitService;
@@ -24,7 +25,8 @@ struct Row {
 }
 
 fn main() {
-    let sampling = if quick_mode() {
+    let mut run = Run::start("constellations");
+    let sampling = if run.quick() {
         SamplingConfig {
             start_s: 0.0,
             interval_s: 600.0,
@@ -50,30 +52,36 @@ fn main() {
         let name = constellation.name().to_string();
         let sats = constellation.num_satellites();
         let service = InOrbitService::new(constellation);
-        for &lat in &latitudes {
-            let stats = access_stats(&service, Geodetic::ground(lat, 0.0), &sampling);
-            let fmt = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.1} ms"));
-            println!(
-                "{:<22} {:>6} {:>5.0}° {:>12} {:>12} {:>10.1}",
-                name,
-                sats,
-                lat,
-                fmt(stats.nearest_rtt_ms),
-                fmt(stats.farthest_rtt_ms),
-                stats.avg_count
-            );
-            rows.push(Row {
-                constellation: name.clone(),
-                satellites: sats,
-                latitude_deg: lat,
-                nearest_rtt_ms: stats.nearest_rtt_ms,
-                farthest_rtt_ms: stats.farthest_rtt_ms,
-                avg_reachable: stats.avg_count,
-            });
-        }
+        let mut batch = run.phase(&name, || {
+            let mut batch = Vec::new();
+            for &lat in &latitudes {
+                let stats = access_stats(&service, Geodetic::ground(lat, 0.0), &sampling);
+                let fmt = |v: Option<f64>| v.map_or("-".into(), |x| format!("{x:.1} ms"));
+                println!(
+                    "{:<22} {:>6} {:>5.0}° {:>12} {:>12} {:>10.1}",
+                    name,
+                    sats,
+                    lat,
+                    fmt(stats.nearest_rtt_ms),
+                    fmt(stats.farthest_rtt_ms),
+                    stats.avg_count
+                );
+                batch.push(Row {
+                    constellation: name.clone(),
+                    satellites: sats,
+                    latitude_deg: lat,
+                    nearest_rtt_ms: stats.nearest_rtt_ms,
+                    farthest_rtt_ms: stats.farthest_rtt_ms,
+                    avg_reachable: stats.avg_count,
+                });
+            }
+            batch
+        });
+        rows.append(&mut batch);
     }
 
     println!("\n# Telesat's 351 satellites buy polar coverage (98.98° shell) that");
     println!("# Kuiper lacks, at the cost of higher RTT from its 1,000+ km shells.");
-    write_results("constellations", &rows);
+    run.write_results(&rows);
+    run.finish();
 }

@@ -1,22 +1,71 @@
-//! Pretty-prints one run manifest, or diffs two.
+//! Pretty-prints one run manifest, diffs two, or gates a diff on
+//! throughput.
 //!
 //! ```text
 //! cargo run -p leo-bench --bin perf_report -- results/fig1.meta.json
 //! cargo run -p leo-bench --bin perf_report -- baseline.meta.json candidate.meta.json
+//! cargo run -p leo-bench --bin perf_report -- --diff baseline.meta.json candidate.meta.json \
+//!     --min-qps-ratio 0.8 --qps-counter serve.queries --qps-phase sweep
 //! ```
 //!
 //! With one manifest: configuration, phase wall-clocks, counters, and
 //! histogram summaries. With two: per-phase speedup (baseline over
 //! candidate) and counter deltas — the quick answer to "did my change
 //! make the sweep faster, and did it change how much work was done?".
+//! With `--min-qps-ratio R`, the diff additionally computes each side's
+//! throughput (the `--qps-counter` count over the `--qps-phase` wall
+//! clock) and exits nonzero when candidate/baseline falls below `R` —
+//! the CI perf regression gate.
 
 use leo_bench::cli::RunManifest;
 use std::path::Path;
 use std::process::ExitCode;
 
+/// Throughput gate settings parsed from the flag arguments.
+struct QpsGate {
+    min_ratio: Option<f64>,
+    counter: String,
+    phase: String,
+}
+
+impl Default for QpsGate {
+    fn default() -> Self {
+        QpsGate {
+            min_ratio: None,
+            counter: "serve.queries".to_string(),
+            phase: "sweep".to_string(),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.as_slice() {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut gate = QpsGate::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--diff" => {} // explicit marker; two paths already mean diff
+            "--min-qps-ratio" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(r)) if r > 0.0 => gate.min_ratio = Some(r),
+                _ => return fail("--min-qps-ratio needs a positive number"),
+            },
+            "--qps-counter" => match it.next() {
+                Some(v) => gate.counter = v.clone(),
+                None => return fail("--qps-counter needs a counter name"),
+            },
+            "--qps-phase" => match it.next() {
+                Some(v) => gate.phase = v.clone(),
+                None => return fail("--qps-phase needs a phase name"),
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("perf_report: unknown flag {flag}");
+                return ExitCode::FAILURE;
+            }
+            path => paths.push(path),
+        }
+    }
+    match paths.as_slice() {
         [one] => match RunManifest::load(Path::new(one)) {
             Ok(m) => {
                 print_single(&m);
@@ -31,12 +80,56 @@ fn main() -> ExitCode {
             ) {
                 (Ok(b), Ok(c)) => {
                     print_diff(&b, &c);
-                    ExitCode::SUCCESS
+                    check_qps_gate(&b, &c, &gate)
                 }
                 (Err(e), _) | (_, Err(e)) => fail(&e),
             }
         }
-        _ => fail("usage: perf_report <manifest.meta.json> [candidate.meta.json]"),
+        _ => fail(
+            "usage: perf_report <manifest.meta.json> [candidate.meta.json] \
+             [--min-qps-ratio R] [--qps-counter NAME] [--qps-phase NAME]",
+        ),
+    }
+}
+
+/// Applies the throughput gate to a diffed pair: candidate qps must be
+/// at least `min_ratio` of baseline qps. A manifest that cannot produce
+/// a rate (counter or phase missing — e.g. a run without `LEO_OBS=1`)
+/// fails the gate loudly rather than passing vacuously.
+fn check_qps_gate(base: &RunManifest, cand: &RunManifest, gate: &QpsGate) -> ExitCode {
+    let Some(min_ratio) = gate.min_ratio else {
+        return ExitCode::SUCCESS;
+    };
+    let rate = |m: &RunManifest, side: &str| match m.rate_per_sec(&gate.counter, &gate.phase) {
+        Some(r) if r > 0.0 => Ok(r),
+        _ => {
+            eprintln!(
+                "perf_report: {side} manifest has no rate for counter '{}' over phase '{}' \
+                 (was the run made with LEO_OBS=1?)",
+                gate.counter, gate.phase
+            );
+            Err(ExitCode::FAILURE)
+        }
+    };
+    let (b, c) = match (rate(base, "baseline"), rate(cand, "candidate")) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => return e,
+    };
+    let ratio = c / b;
+    println!(
+        "\nthroughput gate: {} over {} — baseline {:.0}/s, candidate {:.0}/s, ratio {:.3} (min {:.3})",
+        gate.counter, gate.phase, b, c, ratio, min_ratio
+    );
+    if ratio < min_ratio {
+        eprintln!(
+            "perf_report: throughput regression — candidate is {:.1}% of baseline, below the {:.1}% floor",
+            100.0 * ratio,
+            100.0 * min_ratio
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("throughput gate passed");
+        ExitCode::SUCCESS
     }
 }
 

@@ -1,0 +1,216 @@
+//! The serving-layer benchmark: millions of "nearest server now"
+//! queries over a snapshot sweep, on delta-refreshed routing state.
+//!
+//! Synthesizes a population-weighted user set from the world-cities
+//! catalog, shards it by latitude band, and answers every user at every
+//! instant of the schedule through `leo-serve`. Three identities are
+//! asserted in-binary on every run (and grepped by CI):
+//!
+//! - the delta weight refresh is bit-identical to the full refresh at
+//!   every snapshot, chained across the sweep;
+//! - the engine's batched multi-source frontier reproduces one shard's
+//!   per-user answers bitwise per snapshot;
+//! - a service carrying an empty fault plan serves byte-identically to
+//!   a plain service, and the masked delta path holds under a real
+//!   outage schedule.
+//!
+//! `results/serve.json` holds only thread-count-invariant rows; the
+//! queries/sec headline lives in `results/serve.meta.json` (counter
+//! `serve.queries` over the `sweep` phase — run with `LEO_OBS=1`) and
+//! is what the CI perf gate diffs. Knobs: `LEO_SERVE_USERS`,
+//! `LEO_SERVE_SNAPSHOTS`, `LEO_SERVE_BAND_DEG`, `LEO_SERVE_SHARD_MAX`.
+//! Run: `cargo run -p leo-bench --release --bin serve_bench`
+//! (add `--quick`).
+
+use leo_bench::cli::{Run, RunConfig};
+use leo_constellation::presets;
+use leo_core::{FailureModel, InOrbitService};
+use leo_net::FaultConfig;
+use leo_serve::{synthesize_users, ServeConfig, ServeEngine, SweepReport, USER_SEED};
+
+/// Snapshot spacing. One minute of orbital motion moves every +Grid
+/// edge, so the sweep's delta refreshes exercise the worst (dense) case;
+/// the repeated-instant fast path is covered by the serve test suite.
+const STEP_S: f64 = 60.0;
+
+/// Degrees of uniform scatter around each user's city anchor.
+const SPREAD_DEG: f64 = 2.0;
+
+/// Annual per-satellite failure rate for the masked sweep.
+const FAULT_RATE_PER_YEAR: f64 = 2000.0;
+
+/// Seed for the fault schedule's death draws.
+const FAULT_SEED: u64 = 42;
+
+struct Knobs {
+    users: usize,
+    snapshots: usize,
+    band_deg: f64,
+    max_shard: usize,
+}
+
+/// Reads the serve knobs through the shared `RunConfig` warning path, so
+/// a typo'd variable lands in `serve.meta.json` like a bad
+/// `LEO_THREADS` does.
+fn knobs(config: &mut RunConfig) -> Knobs {
+    let quick = config.quick;
+    let already_warned = config.warnings.len();
+    let env = |name: &str| std::env::var(name).ok();
+    let k = Knobs {
+        users: config.usize_knob(
+            "LEO_SERVE_USERS",
+            env("LEO_SERVE_USERS").as_deref(),
+            if quick { 100_000 } else { 1_200_000 },
+        ),
+        snapshots: config.usize_knob(
+            "LEO_SERVE_SNAPSHOTS",
+            env("LEO_SERVE_SNAPSHOTS").as_deref(),
+            if quick { 4 } else { 12 },
+        ),
+        band_deg: config.usize_knob(
+            "LEO_SERVE_BAND_DEG",
+            env("LEO_SERVE_BAND_DEG").as_deref(),
+            4,
+        ) as f64,
+        max_shard: config.usize_knob(
+            "LEO_SERVE_SHARD_MAX",
+            env("LEO_SERVE_SHARD_MAX").as_deref(),
+            if quick { 16_384 } else { 65_536 },
+        ),
+    };
+    for w in &config.warnings[already_warned..] {
+        eprintln!("warning: {w}");
+    }
+    k
+}
+
+fn main() {
+    let mut config = RunConfig::from_env();
+    let k = knobs(&mut config);
+    let mut run = Run::with_config("serve", config);
+    let threads = run.threads();
+    let serve_config = ServeConfig {
+        band_deg: k.band_deg,
+        max_shard: k.max_shard,
+        threads,
+        validate_frontier: true,
+    };
+    let times: Vec<f64> = (0..k.snapshots).map(|i| i as f64 * STEP_S).collect();
+
+    let users = run.phase("generate_users", || {
+        synthesize_users(k.users, SPREAD_DEG, USER_SEED)
+    });
+
+    // Main sweep: the full population on a plain service. The engine
+    // asserts the delta/full and frontier identities internally on
+    // every snapshot — reaching the report at all means they held.
+    let engine = run.phase("shard", || {
+        ServeEngine::new(
+            InOrbitService::new(presets::starlink_550_only()),
+            users.clone(),
+            serve_config,
+        )
+    });
+    let report = run.phase("sweep", || engine.sweep(&times));
+    println!(
+        "# delta-refresh weights bit-identical to full refresh across {} snapshots",
+        report.snapshots.len()
+    );
+    println!("# multi-source frontier matches nearest assignments");
+
+    // Identity check: an empty fault plan must serve byte-identically
+    // to the plain service. A population subset keeps this O(seconds).
+    let check_users: Vec<_> = users
+        .iter()
+        .take(20_000.min(users.len()))
+        .copied()
+        .collect();
+    run.phase("empty_plan_check", || {
+        let plain = ServeEngine::new(
+            InOrbitService::new(presets::starlink_550_only()),
+            check_users.clone(),
+            serve_config,
+        )
+        .sweep(&times);
+        let empty = ServeEngine::new(
+            InOrbitService::with_faults(presets::starlink_550_only(), FaultConfig::none()),
+            check_users.clone(),
+            serve_config,
+        )
+        .sweep(&times);
+        assert_eq!(plain, empty, "empty fault plan diverged from plain service");
+        println!("# empty fault plan byte-identical to plain service");
+    });
+
+    // Masked sweep: a real outage schedule, so the delta chain and the
+    // frontier validation run through masked weights and masked attach.
+    let fault_report = run.phase("fault_sweep", || {
+        let constellation = presets::starlink_550_only();
+        let cfg = FaultConfig {
+            schedule: Some(
+                FailureModel {
+                    annual_failure_rate: FAULT_RATE_PER_YEAR,
+                    seed: FAULT_SEED,
+                }
+                .schedule(constellation.num_satellites()),
+            ),
+            ..FaultConfig::none()
+        };
+        let faulted = ServeEngine::new(
+            InOrbitService::with_faults(constellation, cfg),
+            check_users.clone(),
+            serve_config,
+        );
+        faulted.sweep(&times[..times.len().min(4)])
+    });
+    println!("# masked delta-refresh bit-identical to full masked refresh");
+
+    print_summary(&report, &fault_report);
+    run.write_results(&ServeResults {
+        sweep: report,
+        fault_sweep: fault_report,
+    });
+    let manifest = run.finish();
+    if let Some(qps) = manifest.rate_per_sec("serve.queries", "sweep") {
+        println!("# throughput: {qps:.0} queries/sec over the sweep phase");
+    }
+}
+
+/// The serve result file: thread-count-invariant rows only (stats and
+/// checksums); throughput and latency histograms live in the manifest.
+#[derive(serde::Serialize)]
+struct ServeResults {
+    sweep: SweepReport,
+    fault_sweep: SweepReport,
+}
+
+fn print_summary(report: &SweepReport, fault_report: &SweepReport) {
+    println!(
+        "# serve sweep: {} queries over {} snapshots ({} delta edges recomputed, {} skipped, {} full rebuilds)",
+        report.total_queries,
+        report.snapshots.len(),
+        report.delta_recomputed,
+        report.delta_skipped,
+        report.delta_full_rebuilds
+    );
+    println!(
+        "{:>8} {:>10} {:>9} {:>9} {:>10} {:>18}",
+        "t", "served", "unserved", "handoffs", "rtt ms", "checksum"
+    );
+    for row in &report.snapshots {
+        println!(
+            "{:>8.0} {:>10} {:>9} {:>9} {:>10.3} {:>18x}",
+            row.time_s,
+            row.served,
+            row.unserved,
+            row.handoffs,
+            row.mean_rtt_ms,
+            row.assignment_checksum
+        );
+    }
+    let faulted_served: u64 = fault_report.snapshots.iter().map(|r| r.served).sum();
+    println!(
+        "# fault sweep: {} queries, {} served under the outage schedule",
+        fault_report.total_queries, faulted_served
+    );
+}

@@ -100,6 +100,26 @@ impl RunConfig {
             warnings,
         }
     }
+
+    /// Parses a positive-integer knob (`name` is the environment
+    /// variable, `value` its raw content, `None` = unset), falling back
+    /// to `default` and recording a warning on garbage — the same
+    /// config_warnings paper trail `LEO_THREADS` gets, shared by every
+    /// binary instead of re-parsed ad hoc.
+    pub fn usize_knob(&mut self, name: &str, value: Option<&str>, default: usize) -> usize {
+        match value {
+            None => default,
+            Some(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    self.warnings.push(format!(
+                        "{name}={v:?} is not a positive integer; using {default}"
+                    ));
+                    default
+                }
+            },
+        }
+    }
 }
 
 /// One experiment binary's execution context: the parsed [`RunConfig`],
@@ -310,6 +330,17 @@ impl RunManifest {
             .find(|p| p.name == name)
             .map(|p| p.wall_s)
     }
+
+    /// Throughput of `counter` over phase `phase`: counter value divided
+    /// by the phase's wall-clock. `None` when either is missing or the
+    /// phase took no measurable time — the serve perf gate compares
+    /// `serve.queries` over the `sweep` phase this way, so quick and
+    /// full runs are comparable as rates.
+    pub fn rate_per_sec(&self, counter: &str, phase: &str) -> Option<f64> {
+        let count = self.counter(counter)?;
+        let wall = self.phase_wall(phase)?;
+        (wall > 0.0).then(|| count as f64 / wall)
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +423,37 @@ mod tests {
     }
 
     #[test]
+    fn usize_knob_parses_warns_and_falls_back() {
+        let mut c = cfg(&[], None, None);
+        assert_eq!(c.usize_knob("LEO_SERVE_USERS", None, 7), 7);
+        assert_eq!(c.usize_knob("LEO_SERVE_USERS", Some("12"), 7), 12);
+        assert_eq!(c.usize_knob("LEO_SERVE_USERS", Some(" 3 "), 7), 3);
+        assert!(c.warnings.is_empty());
+        for bad in ["zero", "0", "-1", "1.5", ""] {
+            assert_eq!(c.usize_knob("LEO_SERVE_USERS", Some(bad), 7), 7);
+        }
+        assert_eq!(c.warnings.len(), 5);
+        assert!(c.warnings[0].contains("LEO_SERVE_USERS"));
+    }
+
+    #[test]
+    fn malformed_threads_env_surfaces_in_the_serve_manifest() {
+        // The serve_bench path: RunConfig parsed from a garbage
+        // LEO_THREADS, knobs layered on, manifest named "serve" — the
+        // warning must ride all the way into serve.meta.json.
+        let args: Vec<String> = Vec::new();
+        let mut config = RunConfig::from_parts(&args, None, Some("eight"), None);
+        config.usize_knob("LEO_SERVE_USERS", Some("oops"), 100);
+        let m = Run::with_config("serve", config).manifest();
+        assert_eq!(m.name, "serve");
+        assert_eq!(m.config_warnings.len(), 2);
+        assert!(m.config_warnings[0].contains("LEO_THREADS"));
+        assert!(m.config_warnings[1].contains("LEO_SERVE_USERS"));
+        let text = serde_json::to_string(&m).unwrap();
+        assert!(text.contains("LEO_THREADS"));
+    }
+
+    #[test]
     fn run_records_phases_in_order() {
         let mut run = Run::with_config(
             "t",
@@ -446,5 +508,11 @@ mod tests {
         assert_eq!(back.counter("engine.dijkstra.pops"), Some(123_456));
         assert_eq!(back.phase_wall("sweep"), Some(1.0));
         assert_eq!(back.counter("missing"), None);
+        assert_eq!(
+            back.rate_per_sec("engine.dijkstra.pops", "sweep"),
+            Some(123_456.0)
+        );
+        assert_eq!(back.rate_per_sec("missing", "sweep"), None);
+        assert_eq!(back.rate_per_sec("engine.dijkstra.pops", "missing"), None);
     }
 }

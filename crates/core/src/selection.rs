@@ -134,6 +134,31 @@ impl GroupDelays {
     }
 }
 
+/// Batched per-user nearest-server assignment over `[user][sat]` delay
+/// rows: for each user, the satellite with the smallest finite delay and
+/// that delay. Exact-delay ties break toward the lower satellite id —
+/// the same rule as `GroupDelays::within_slack` and the serving layer's
+/// `nearest_server_view` — so the assignment is a pure function of the
+/// rows. Users with no reachable satellite map to `None`.
+pub fn nearest_assignments(direct: &[Vec<f64>]) -> Vec<Option<(SatId, f64)>> {
+    direct
+        .iter()
+        .map(|row| {
+            let mut best: Option<(SatId, f64)> = None;
+            for (i, &d) in row.iter().enumerate() {
+                let beats = match best {
+                    None => true,
+                    Some((_, b)) => d < b,
+                };
+                if d.is_finite() && beats {
+                    best = Some((SatId(i as u32), d));
+                }
+            }
+            best
+        })
+        .collect()
+}
+
 /// Parameters of the Sticky heuristic (paper defaults: 10 % slack, pool
 /// of 5, lookahead sampled every 10 s up to 20 min).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -350,6 +375,33 @@ mod tests {
         let g = GroupDelays::from_user_delays(&[vec![f64::INFINITY; 4]]);
         assert_eq!(g.minmax(), None);
         assert!(g.within_slack(0.1).is_empty());
+    }
+
+    #[test]
+    fn nearest_assignments_pick_the_per_user_minimum() {
+        let direct = vec![
+            vec![3.0, 1.0, 2.0],
+            vec![f64::INFINITY, f64::INFINITY, f64::INFINITY],
+            vec![5.0, 5.0, 7.0], // exact tie breaks to the lower id
+            vec![],
+        ];
+        let picks = nearest_assignments(&direct);
+        assert_eq!(
+            picks,
+            vec![Some((SatId(1), 1.0)), None, Some((SatId(0), 5.0)), None]
+        );
+    }
+
+    #[test]
+    fn nearest_assignments_agree_with_single_user_minmax() {
+        let s = InOrbitService::new(presets::starlink_550_only());
+        let users = west_africa_users();
+        let direct = s.user_direct_delays(&s.snapshot(30.0), &users);
+        let picks = nearest_assignments(&direct);
+        for (row, pick) in direct.iter().zip(&picks) {
+            let single = GroupDelays::from_user_delays(std::slice::from_ref(row));
+            assert_eq!(*pick, single.minmax());
+        }
     }
 
     #[test]

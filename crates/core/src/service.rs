@@ -525,6 +525,51 @@ impl InOrbitService {
             .collect()
     }
 
+    /// The nearest visible server for one user at this instant — the
+    /// serving layer's primitive query. Smallest slant range wins; exact
+    /// range ties (possible for symmetric geometries) break toward the
+    /// lower satellite id, so the answer is a pure function of the view
+    /// and never depends on scan order. Fault-plan aware through the
+    /// view: dead or rain-faded satellites are never returned, and with
+    /// an empty plan the answer is identical to the plain service.
+    pub fn nearest_server_view(
+        &self,
+        view: &SnapshotView,
+        user: &GroundEndpoint,
+    ) -> Option<VisibleSat> {
+        let mut best: Option<VisibleSat> = None;
+        let mut consider = |v: VisibleSat| {
+            let better = match best.as_ref() {
+                None => true,
+                Some(b) => v.range_m < b.range_m || (v.range_m == b.range_m && v.id.0 < b.id.0),
+            };
+            if better {
+                best = Some(v);
+            }
+        };
+        match view.fault_plan() {
+            Some(plan) => view
+                .index()
+                .for_each_visible_masked(user.ecef, plan, &mut consider),
+            None => view.index().for_each_visible(user.ecef, &mut consider),
+        }
+        best
+    }
+
+    /// [`InOrbitService::nearest_server_view`] over a whole user batch,
+    /// one entry per user in input order (`None` where no server is
+    /// visible). This is what a serve shard runs per snapshot.
+    pub fn nearest_servers_view(
+        &self,
+        view: &SnapshotView,
+        users: &[GroundEndpoint],
+    ) -> Vec<Option<VisibleSat>> {
+        users
+            .iter()
+            .map(|u| self.nearest_server_view(view, u))
+            .collect()
+    }
+
     /// True when the fault plan of `view` rules out `sat` as a server for
     /// this user group: the satellite is dead, or some user's access link
     /// to it is rain-faded shut. Geometric invisibility is *not* a fault —
@@ -726,5 +771,60 @@ mod tests {
             // direct slant-range delay (straight line beats any relay).
             assert!((delays[v.id.0 as usize] - v.delay_s()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn nearest_server_is_the_smallest_visible_range() {
+        let s = service();
+        let view = s.view(150.0);
+        let user = GroundEndpoint::new(0, Geodetic::ground(12.0, 77.0));
+        let nearest = s.nearest_server_view(&view, &user).unwrap();
+        let all = s.reachable_servers_in(view.snapshot(), user.geodetic);
+        let best = all.iter().map(|v| v.range_m).fold(f64::INFINITY, f64::min);
+        assert_eq!(nearest.range_m, best);
+        // Batched answers equal the one-by-one answers, in input order.
+        let users = [
+            user,
+            GroundEndpoint::new(1, Geodetic::ground(-26.2, 28.0)),
+            GroundEndpoint::new(2, Geodetic::ground(89.0, 0.0)),
+        ];
+        let batch = s.nearest_servers_view(&view, &users);
+        for (u, got) in users.iter().zip(&batch) {
+            assert_eq!(*got, s.nearest_server_view(&view, u));
+        }
+    }
+
+    #[test]
+    fn nearest_server_skips_a_dead_satellite() {
+        let plain = service();
+        let g = Geodetic::ground(0.0, 0.0);
+        let user = GroundEndpoint::new(0, g);
+        let victim = plain
+            .nearest_server_view(&plain.view(0.0), &user)
+            .unwrap()
+            .id;
+        let mut deaths = vec![f64::INFINITY; victim.0 as usize + 1];
+        deaths[victim.0 as usize] = 0.0;
+        let cfg = FaultConfig {
+            schedule: Some(leo_net::FailureSchedule::from_death_times(deaths)),
+            ..FaultConfig::none()
+        };
+        let s = InOrbitService::with_faults(presets::starlink_550_only(), cfg);
+        let next = s.nearest_server_view(&s.view(0.0), &user).unwrap();
+        assert_ne!(next.id, victim, "a dead satellite must never serve");
+    }
+
+    #[test]
+    fn empty_fault_plan_gives_identical_nearest_servers() {
+        let plain = service();
+        let faulted =
+            InOrbitService::with_faults(presets::starlink_550_only(), FaultConfig::none());
+        let users: Vec<GroundEndpoint> = (0..8)
+            .map(|i| GroundEndpoint::new(i, Geodetic::ground(i as f64 * 9.0 - 30.0, 17.0)))
+            .collect();
+        assert_eq!(
+            plain.nearest_servers_view(&plain.view(45.0), &users),
+            faulted.nearest_servers_view(&faulted.view(45.0), &users),
+        );
     }
 }

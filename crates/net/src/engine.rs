@@ -54,6 +54,10 @@ pub struct RoutingEngine {
     edge_of_slot: Vec<u32>,
     /// Endpoint indices per undirected edge id.
     edge_ends: Vec<(u32, u32)>,
+    /// The two directed slots of each undirected edge — the inverse of
+    /// `edge_of_slot`, so a delta refresh can scatter one changed weight
+    /// without re-walking the whole slot array.
+    slots_of_edge: Vec<[u32; 2]>,
     grazing_altitude_m: f64,
 }
 
@@ -71,6 +75,59 @@ pub struct IslWeights {
     /// Smallest finite weight, or `INFINITY` when every link is occluded
     /// — the bucket width of the monotone queue.
     min_finite: f64,
+    /// Fingerprint of the inputs the weights were refreshed from, for
+    /// [`RoutingEngine::refresh_delta`]. `None` until the first refresh
+    /// records one.
+    inputs: Option<RefreshInputs>,
+}
+
+/// The exact inputs of the last refresh: per-satellite position bits and
+/// per-edge mask status. An edge whose fingerprint entries are unchanged
+/// would get bit-for-bit the same weight from a full refresh — the same
+/// positions through the same expressions — so the delta path can skip it
+/// *provably*, not approximately.
+#[derive(Debug, Clone, Default)]
+struct RefreshInputs {
+    /// `(x, y, z)` bit patterns per satellite at the last refresh.
+    sat_bits: Vec<[u64; 3]>,
+    /// Whether the fault plan masked each edge at the last refresh.
+    masked: Vec<bool>,
+}
+
+impl RefreshInputs {
+    fn record_positions(&mut self, snapshot: &Snapshot) {
+        self.sat_bits.clear();
+        self.sat_bits.extend(
+            snapshot
+                .positions
+                .iter()
+                .map(|p| [p.0.x.to_bits(), p.0.y.to_bits(), p.0.z.to_bits()]),
+        );
+    }
+}
+
+/// What one [`RoutingEngine::refresh_delta`] call did — the change-rate
+/// telemetry the serving layer reports per snapshot step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Compiled undirected edges.
+    pub edges: usize,
+    /// Edges whose weight had to be recomputed: an endpoint position's
+    /// bits changed, or the fault-mask status flipped.
+    pub recomputed: usize,
+    /// Recomputed edges whose weight actually differs from the stored
+    /// value (and therefore got written back).
+    pub changed: usize,
+    /// True when no usable fingerprint existed (cold buffer, size
+    /// mismatch) and the call degenerated to a full refresh.
+    pub full_rebuild: bool,
+}
+
+impl DeltaStats {
+    /// Edges skipped as provably unchanged.
+    pub fn skipped(&self) -> usize {
+        self.edges - self.recomputed
+    }
 }
 
 impl IslWeights {
@@ -98,6 +155,28 @@ impl IslWeights {
     /// Smallest finite edge weight (seconds), `INFINITY` when none.
     pub fn min_finite_s(&self) -> f64 {
         self.min_finite
+    }
+
+    /// True when `other` holds bit-for-bit the same weights: every edge
+    /// delay, every directed slot, and `min_finite` compare equal as bit
+    /// patterns (so `INFINITY == INFINITY`, unlike `f64` equality on
+    /// whole-slice compares with NaN semantics in mind). The delta-refresh
+    /// identity guarantee is stated — and CI-gated — in terms of this
+    /// predicate.
+    pub fn bits_eq(&self, other: &IslWeights) -> bool {
+        self.delays.len() == other.delays.len()
+            && self.slots.len() == other.slots.len()
+            && self.min_finite.to_bits() == other.min_finite.to_bits()
+            && self
+                .delays
+                .iter()
+                .zip(&other.delays)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && self
+                .slots
+                .iter()
+                .zip(&other.slots)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
     }
 }
 
@@ -315,12 +394,14 @@ impl RoutingEngine {
         let mut edge_of_slot = vec![0u32; total];
         let mut cursor = offsets[..num_sats].to_vec();
         let mut edge_ends = Vec::with_capacity(edges.len());
+        let mut slots_of_edge = vec![[0u32; 2]; edges.len()];
         for (id, e) in edges.iter().enumerate() {
             let (a, b) = (e.a.0, e.b.0);
-            for (from, to) in [(a, b), (b, a)] {
+            for (dir, (from, to)) in [(a, b), (b, a)].into_iter().enumerate() {
                 let slot = cursor[from as usize] as usize;
                 targets[slot] = to;
                 edge_of_slot[slot] = id as u32;
+                slots_of_edge[id][dir] = slot as u32;
                 cursor[from as usize] += 1;
             }
             edge_ends.push((a, b));
@@ -331,6 +412,7 @@ impl RoutingEngine {
             targets,
             edge_of_slot,
             edge_ends,
+            slots_of_edge,
             grazing_altitude_m: topology.grazing_altitude_m(),
         }
     }
@@ -378,6 +460,12 @@ impl RoutingEngine {
         for (slot, &e) in self.edge_of_slot.iter().enumerate() {
             weights.slots[slot] = weights.delays[e as usize];
         }
+        // Fingerprint the inputs so a later refresh_delta can skip edges
+        // whose endpoints provably didn't move.
+        let inputs = weights.inputs.get_or_insert_with(RefreshInputs::default);
+        inputs.record_positions(snapshot);
+        inputs.masked.clear();
+        inputs.masked.resize(self.edge_ends.len(), false);
     }
 
     /// [`RoutingEngine::refresh_into`] under a fault plan: after the
@@ -394,10 +482,12 @@ impl RoutingEngine {
         if plan.is_empty() {
             return;
         }
+        let mut inputs = weights.inputs.take().unwrap_or_default();
         let mut masked = 0u64;
         let mut min_finite = f64::INFINITY;
         for (e, &(a, b)) in self.edge_ends.iter().enumerate() {
             if plan.isl_edge_masked(SatId(a), SatId(b)) {
+                inputs.masked[e] = true;
                 if weights.delays[e].is_finite() {
                     masked += 1;
                 }
@@ -406,11 +496,126 @@ impl RoutingEngine {
                 min_finite = min_finite.min(weights.delays[e]);
             }
         }
+        weights.inputs = Some(inputs);
         weights.min_finite = min_finite;
         for (slot, &e) in self.edge_of_slot.iter().enumerate() {
             weights.slots[slot] = weights.delays[e as usize];
         }
         leo_obs::counter!("fault.masked_isl_edges").add(masked);
+    }
+
+    /// Incremental [`RoutingEngine::refresh_into`]: recomputes only the
+    /// edges whose endpoint positions changed since the weights were last
+    /// refreshed, producing **bit-for-bit** the output a full refresh
+    /// would (`IslWeights::bits_eq` — property-tested in
+    /// `tests/delta_refresh.rs`). "Changed" is decided on exact position
+    /// bit patterns recorded by the previous refresh, so a skipped edge
+    /// is provably identical, never approximately so. A cold or
+    /// mismatched buffer falls back to a full refresh and reports
+    /// `full_rebuild`.
+    pub fn refresh_delta(&self, snapshot: &Snapshot, weights: &mut IslWeights) -> DeltaStats {
+        self.refresh_delta_masked(snapshot, &FaultPlan::empty(), weights)
+    }
+
+    /// [`RoutingEngine::refresh_delta`] under a fault plan: an edge is
+    /// also recomputed when its mask status flipped since the last
+    /// refresh, which makes plan-only transitions (the same instant, a
+    /// new outage) touch exactly the affected edges. Bit-identical to
+    /// [`RoutingEngine::refresh_into_masked`] from any starting state.
+    pub fn refresh_delta_masked(
+        &self,
+        snapshot: &Snapshot,
+        plan: &FaultPlan,
+        weights: &mut IslWeights,
+    ) -> DeltaStats {
+        let _span = leo_obs::span!("engine.refresh_delta_s");
+        let n_edges = self.edge_ends.len();
+        let usable = snapshot.len() == self.num_sats
+            && weights.delays.len() == n_edges
+            && weights.slots.len() == self.edge_of_slot.len()
+            && weights
+                .inputs
+                .as_ref()
+                .is_some_and(|c| c.sat_bits.len() == self.num_sats && c.masked.len() == n_edges);
+        if !usable {
+            self.refresh_into_masked(snapshot, plan, weights);
+            let stats = DeltaStats {
+                edges: n_edges,
+                recomputed: n_edges,
+                changed: n_edges,
+                full_rebuild: true,
+            };
+            self.tally_delta(stats);
+            return stats;
+        }
+        let mut inputs = weights.inputs.take().expect("checked above");
+        // Which satellites actually moved — exact bit compare, updating
+        // the fingerprint in the same pass.
+        let mut moved = vec![false; self.num_sats];
+        for (i, p) in snapshot.positions.iter().enumerate() {
+            let bits = [p.0.x.to_bits(), p.0.y.to_bits(), p.0.z.to_bits()];
+            if inputs.sat_bits[i] != bits {
+                inputs.sat_bits[i] = bits;
+                moved[i] = true;
+            }
+        }
+        let plan_empty = plan.is_empty();
+        let mut recomputed = 0usize;
+        let mut changed = 0usize;
+        for (e, &(a, b)) in self.edge_ends.iter().enumerate() {
+            let now_masked = !plan_empty && plan.isl_edge_masked(SatId(a), SatId(b));
+            if !moved[a as usize] && !moved[b as usize] && now_masked == inputs.masked[e] {
+                continue;
+            }
+            recomputed += 1;
+            inputs.masked[e] = now_masked;
+            // The same expressions as the full refresh, so a recomputed
+            // weight lands on the same bits the full path would produce.
+            let w = if now_masked {
+                f64::INFINITY
+            } else {
+                let pa = snapshot.position(SatId(a));
+                let pb = snapshot.position(SatId(b));
+                if line_of_sight_clear(pa, pb, self.grazing_altitude_m) {
+                    pa.distance_m(pb) / SPEED_OF_LIGHT_M_S
+                } else {
+                    f64::INFINITY
+                }
+            };
+            if w.to_bits() != weights.delays[e].to_bits() {
+                changed += 1;
+                weights.delays[e] = w;
+                let [s1, s2] = self.slots_of_edge[e];
+                weights.slots[s1 as usize] = w;
+                weights.slots[s2 as usize] = w;
+            }
+        }
+        weights.inputs = Some(inputs);
+        if changed > 0 {
+            // Re-fold the minimum in edge order, exactly as the full
+            // refresh accumulates it. Masked and occluded edges are
+            // `INFINITY` — the identity of `min` — so folding over all
+            // delays equals the full path's fold over the unmasked ones.
+            weights.min_finite = weights.delays.iter().copied().fold(f64::INFINITY, f64::min);
+        }
+        let stats = DeltaStats {
+            edges: n_edges,
+            recomputed,
+            changed,
+            full_rebuild: false,
+        };
+        self.tally_delta(stats);
+        stats
+    }
+
+    fn tally_delta(&self, stats: DeltaStats) {
+        leo_obs::counter!("engine.delta.refreshes").incr();
+        leo_obs::counter!("engine.delta.recomputed_edges").add(stats.recomputed as u64);
+        leo_obs::counter!("engine.delta.changed_edges").add(stats.changed as u64);
+        leo_obs::counter!("engine.delta.skipped_edges").add(stats.skipped() as u64);
+        if stats.full_rebuild {
+            leo_obs::counter!("engine.delta.full_rebuilds").incr();
+        }
     }
 
     /// Wires `grounds` into the node space through a prebuilt
@@ -794,6 +999,61 @@ impl RoutingEngine {
             })
             .collect()
     }
+
+    /// Minimum one-way delay from **any** of `sources` to every attached
+    /// ground slot, sharing one settled frontier across the whole group —
+    /// the serving layer's batched query. Writes one delay per ground
+    /// slot into `out` (`INFINITY` where no source reaches).
+    ///
+    /// Seeding every source at distance zero and settling once costs one
+    /// Dijkstra pass however many sources there are, and the result is
+    /// exactly the elementwise minimum of per-source runs: a settled
+    /// distance is the minimum left-to-right path sum over all
+    /// source-rooted paths, which doesn't depend on how sources share the
+    /// frontier (the property suite in `tests/delta_refresh.rs` pins this
+    /// bitwise). Duplicate sources are allowed and change nothing.
+    pub fn multi_source_ground_delays_into(
+        &self,
+        weights: &IslWeights,
+        links: &GroundLinks,
+        sources: &[SatId],
+        out: &mut Vec<f64>,
+        arena: &mut DijkstraArena,
+    ) {
+        debug_assert_eq!(links.num_sats, self.num_sats);
+        leo_obs::counter!("engine.multi_source_queries").incr();
+        let n = self.num_sats + links.num_grounds();
+        out.clear();
+        out.resize(n, f64::INFINITY);
+        arena.clear_queues();
+        let mut store = SliceStore(out);
+        let wmin = weights.min_finite.min(links.min_up);
+        if wmin.is_finite() && wmin > MIN_BUCKET_WIDTH_S {
+            leo_obs::counter!("engine.dijkstra.bucket_queries").incr();
+            for &s in sources {
+                store.set(s.0, 0.0);
+                bucket_push(&mut arena.buckets, s.0, 0.0, 0.0);
+            }
+            self.search_buckets(
+                weights,
+                Some(links),
+                None,
+                &mut store,
+                &mut arena.buckets,
+                wmin,
+            );
+        } else {
+            leo_obs::counter!("engine.dijkstra.heap_queries").incr();
+            for &s in sources {
+                store.set(s.0, 0.0);
+                arena.heap.push(Reverse(heap_key(0.0, s.0)));
+            }
+            self.search_heap(weights, Some(links), None, &mut store, &mut arena.heap);
+        }
+        // Ground slots live after the satellites; move them to the front.
+        out.copy_within(self.num_sats.., 0);
+        out.truncate(links.num_grounds());
+    }
 }
 
 /// Runs `f` with this thread's reusable [`DijkstraArena`]. Worker threads
@@ -1104,5 +1364,150 @@ mod tests {
             engine.sat_to_sat_delay(&weights, None, SatId(0), SatId(100), arena)
         });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delta_refresh_matches_full_refresh_across_instants() {
+        let (c, _, engine) = setup();
+        let mut delta = engine.refresh(&c.snapshot(0.0));
+        for t in [60.0, 120.0, 180.0] {
+            let stats = engine.refresh_delta(&c.snapshot(t), &mut delta);
+            assert!(!stats.full_rebuild, "warm buffer must stay incremental");
+            let full = engine.refresh(&c.snapshot(t));
+            assert!(delta.bits_eq(&full), "t={t}");
+        }
+    }
+
+    #[test]
+    fn delta_refresh_skips_everything_on_a_repeated_snapshot() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(300.0);
+        let mut w = engine.refresh(&snap);
+        let stats = engine.refresh_delta(&snap, &mut w);
+        assert_eq!(stats.recomputed, 0, "no position bit changed");
+        assert_eq!(stats.changed, 0);
+        assert_eq!(stats.skipped(), engine.num_edges());
+        assert!(w.bits_eq(&engine.refresh(&snap)));
+    }
+
+    #[test]
+    fn delta_refresh_on_a_cold_buffer_is_a_full_rebuild() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(0.0);
+        let mut cold = IslWeights::default();
+        let stats = engine.refresh_delta(&snap, &mut cold);
+        assert!(stats.full_rebuild);
+        assert!(cold.bits_eq(&engine.refresh(&snap)));
+    }
+
+    #[test]
+    fn plan_only_delta_touches_exactly_the_masked_edges() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(0.0);
+        let mut w = engine.refresh(&snap);
+        let mut plan = FaultPlan::empty();
+        plan.kill(SatId(100));
+        // Same instant, new outage: only the dead satellite's +Grid edges
+        // flip mask status, so only those are recomputed.
+        let stats = engine.refresh_delta_masked(&snap, &plan, &mut w);
+        assert_eq!(stats.recomputed, 4, "+Grid degree 4");
+        assert_eq!(stats.changed, 4);
+        let mut full = IslWeights::default();
+        engine.refresh_into_masked(&snap, &plan, &mut full);
+        assert!(w.bits_eq(&full));
+        // Lifting the outage again recomputes the same four edges back.
+        let back = engine.refresh_delta(&snap, &mut w);
+        assert_eq!(back.recomputed, 4);
+        assert!(w.bits_eq(&engine.refresh(&snap)));
+    }
+
+    #[test]
+    fn delta_refresh_recovers_from_a_masked_starting_state() {
+        let (c, _, engine) = setup();
+        let mut plan = FaultPlan::empty();
+        plan.kill(SatId(7));
+        plan.cut_link(SatId(200), SatId(201));
+        let mut w = IslWeights::default();
+        engine.refresh_into_masked(&c.snapshot(0.0), &plan, &mut w);
+        // Advance under the same plan, then drop it — both transitions
+        // must land bit-for-bit on the full-refresh result.
+        engine.refresh_delta_masked(&c.snapshot(60.0), &plan, &mut w);
+        let mut full = IslWeights::default();
+        engine.refresh_into_masked(&c.snapshot(60.0), &plan, &mut full);
+        assert!(w.bits_eq(&full));
+        engine.refresh_delta(&c.snapshot(60.0), &mut w);
+        assert!(w.bits_eq(&engine.refresh(&c.snapshot(60.0))));
+    }
+
+    #[test]
+    fn multi_source_equals_elementwise_min_of_single_sources() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(120.0);
+        let weights = engine.refresh(&snap);
+        let grounds = [endpoint(0, 9.06, 7.49), endpoint(1, -33.87, 151.21)];
+        let links = engine.attach_scan(&c, &snap, &grounds);
+        let mut arena = DijkstraArena::new();
+        let sources = [SatId(3), SatId(700), SatId(1400)];
+        let mut batched = Vec::new();
+        engine.multi_source_ground_delays_into(
+            &weights,
+            &links,
+            &sources,
+            &mut batched,
+            &mut arena,
+        );
+        assert_eq!(batched.len(), grounds.len());
+        let mut single = Vec::new();
+        for g in 0..grounds.len() {
+            let best = sources
+                .iter()
+                .map(|&s| {
+                    engine.multi_source_ground_delays_into(
+                        &weights,
+                        &links,
+                        std::slice::from_ref(&s),
+                        &mut single,
+                        &mut arena,
+                    );
+                    single[g]
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(batched[g].to_bits(), best.to_bits(), "ground {g}");
+        }
+    }
+
+    #[test]
+    fn multi_source_over_all_sats_is_the_best_up_link() {
+        // Seeding every satellite at zero makes each ground's answer the
+        // minimum over its own up-links — one hop beats any detour.
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(0.0);
+        let weights = engine.refresh(&snap);
+        let grounds = [endpoint(0, 0.0, 0.0), endpoint(1, 47.38, 8.54)];
+        let links = engine.attach_scan(&c, &snap, &grounds);
+        let all: Vec<SatId> = (0..engine.num_sats() as u32).map(SatId).collect();
+        let mut out = Vec::new();
+        let mut arena = DijkstraArena::new();
+        engine.multi_source_ground_delays_into(&weights, &links, &all, &mut out, &mut arena);
+        for (g, &got) in out.iter().enumerate() {
+            let best = links
+                .up_of(g)
+                .iter()
+                .map(|&(_, w)| w)
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(got.to_bits(), best.to_bits(), "ground {g}");
+        }
+    }
+
+    #[test]
+    fn multi_source_with_no_sources_reaches_nothing() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(0.0);
+        let weights = engine.refresh(&snap);
+        let links = engine.attach_scan(&c, &snap, &[endpoint(0, 0.0, 0.0)]);
+        let mut out = Vec::new();
+        let mut arena = DijkstraArena::new();
+        engine.multi_source_ground_delays_into(&weights, &links, &[], &mut out, &mut arena);
+        assert_eq!(out, vec![f64::INFINITY]);
     }
 }

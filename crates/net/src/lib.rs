@@ -54,7 +54,7 @@ pub mod routing;
 pub mod visibility;
 pub mod weather;
 
-pub use engine::{DijkstraArena, GroundLinks, IslWeights, RoutingEngine};
+pub use engine::{DeltaStats, DijkstraArena, GroundLinks, IslWeights, RoutingEngine};
 pub use fault::{FailureSchedule, FaultConfig, FaultPlan, GroundFade, RainFade};
 pub use graph::{NetworkGraph, NodeId, Path};
 pub use index::VisibilityIndex;

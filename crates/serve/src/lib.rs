@@ -1,0 +1,36 @@
+//! # leo-serve
+//!
+//! The planet-scale serving layer: "best server for a user at
+//! (lat, lon), now", answered for millions of synthetic users per
+//! snapshot.
+//!
+//! The paper's thought experiment puts the compute *in* the
+//! constellation, which turns server selection into a planetary-scale
+//! query problem: every user wants the nearest orbital server at every
+//! instant, over a mesh whose geometry never stops moving. This crate
+//! assembles the pieces the lower layers provide into that serving
+//! primitive:
+//!
+//! - [`users`] synthesizes population-weighted user sets from the
+//!   world-cities catalog (deterministic in the seed);
+//! - [`shard`] groups them into latitude-band shards — the batching
+//!   unit that matches the visibility index's banding;
+//! - [`sweep`] answers every shard per snapshot on **delta-refreshed**
+//!   routing weights, asserting on every instant that the incremental
+//!   refresh is bit-identical to the full one and (in validation mode)
+//!   that the engine's batched multi-source frontier reproduces the
+//!   per-user answers exactly.
+//!
+//! Results are thread-count-invariant by construction; `serve_bench`
+//! in `leo-bench` wraps this into the CI-gated benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod shard;
+pub mod sweep;
+pub mod users;
+
+pub use shard::ShardedUsers;
+pub use sweep::{ServeConfig, ServeEngine, SnapshotStats, SweepReport};
+pub use users::{synthesize_users, USER_SEED};

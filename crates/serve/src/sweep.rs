@@ -1,0 +1,411 @@
+//! The serve sweep: nearest-server answers for a sharded user
+//! population over a snapshot schedule, on delta-refreshed routing
+//! state.
+//!
+//! Per snapshot the engine runs one incremental weight refresh
+//! ([`RoutingEngine::refresh_delta_masked`]) on the main thread and
+//! **asserts** the result bit-identical to the view's full refresh —
+//! the serving layer never trades correctness for the delta path's
+//! speed, it proves the two equal on every instant it serves. Shards
+//! then fan across the worker pool; each worker answers its shard's
+//! users against the shared view, and (in validation mode) the batched
+//! multi-source frontier re-derives one shard's answers per snapshot
+//! through the delta-refreshed weights as a second, independent proof.
+//!
+//! Everything reported in [`SnapshotStats`] is a pure function of the
+//! population and the schedule: thread counts change wall-clock, never
+//! bytes.
+
+use crate::shard::ShardedUsers;
+use leo_constellation::SatId;
+use leo_core::{InOrbitService, SnapshotView};
+use leo_net::engine::with_thread_arena;
+use leo_net::{IslWeights, VisibleSat};
+use leo_sim::parallel_map;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Knobs of a serve sweep. Sharding and validation cadence are part of
+/// the result-determinism contract; threads are not.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Latitude band height for sharding, degrees.
+    pub band_deg: f64,
+    /// Maximum users per shard (bands above this split).
+    pub max_shard: usize,
+    /// Worker-pool size for the per-shard fan-out.
+    pub threads: usize,
+    /// Re-derive one shard per snapshot through the batched multi-source
+    /// frontier and assert it matches the per-user answers bitwise.
+    pub validate_frontier: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            band_deg: 4.0,
+            max_shard: 65_536,
+            threads: leo_sim::default_threads(),
+            validate_frontier: true,
+        }
+    }
+}
+
+/// Aggregate serving stats at one snapshot. Every field is independent
+/// of the thread count — these rows are what the CI byte-identity gate
+/// diffs.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SnapshotStats {
+    /// Snapshot time, seconds.
+    pub time_s: f64,
+    /// Users with at least one visible (non-faulted) server.
+    pub served: u64,
+    /// Users with no server in view.
+    pub unserved: u64,
+    /// Users whose serving satellite changed since the previous
+    /// snapshot (both instants served). Zero at the first snapshot.
+    pub handoffs: u64,
+    /// Mean round-trip time to the assigned server over served users,
+    /// milliseconds.
+    pub mean_rtt_ms: f64,
+    /// FNV-1a checksum over the full `(user, server, delay)` assignment
+    /// vector — a byte-identity fingerprint of every individual answer
+    /// without shipping millions of rows.
+    pub assignment_checksum: u64,
+}
+
+/// The outcome of a serve sweep.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SweepReport {
+    /// Per-snapshot serving stats, in schedule order.
+    pub snapshots: Vec<SnapshotStats>,
+    /// Total nearest-server queries answered.
+    pub total_queries: u64,
+    /// Edges the delta refresh recomputed, summed over the sweep.
+    pub delta_recomputed: u64,
+    /// Edges the delta refresh skipped as provably unchanged.
+    pub delta_skipped: u64,
+    /// Delta refreshes that fell back to a full rebuild (the cold first
+    /// snapshot, normally exactly one).
+    pub delta_full_rebuilds: u64,
+}
+
+/// A user population wired to a service, ready to sweep.
+pub struct ServeEngine {
+    service: InOrbitService,
+    users: ShardedUsers,
+    config: ServeConfig,
+}
+
+/// Per-shard fold of one snapshot's answers.
+struct ShardOut {
+    assignments: Vec<Option<VisibleSat>>,
+    served: u64,
+    rtt_sum_ms: f64,
+}
+
+impl ServeEngine {
+    /// Shards `users` per `config` and binds them to `service`.
+    pub fn new(
+        service: InOrbitService,
+        users: Vec<leo_net::routing::GroundEndpoint>,
+        config: ServeConfig,
+    ) -> Self {
+        let users = ShardedUsers::build(users, config.band_deg, config.max_shard);
+        ServeEngine {
+            service,
+            users,
+            config,
+        }
+    }
+
+    /// The sharded population.
+    pub fn users(&self) -> &ShardedUsers {
+        &self.users
+    }
+
+    /// The service being swept.
+    pub fn service(&self) -> &InOrbitService {
+        &self.service
+    }
+
+    /// Answers every user at every instant of `times`, chaining the
+    /// delta refresh across snapshots.
+    ///
+    /// # Panics
+    /// Panics if the delta-refreshed weights ever diverge from the
+    /// view's full refresh, or if the multi-source frontier disagrees
+    /// with a per-user answer (validation mode) — both are broken-build
+    /// signals, not runtime conditions to tolerate.
+    pub fn sweep(&self, times: &[f64]) -> SweepReport {
+        let _span = leo_obs::span!("serve.sweep_s");
+        let engine = self.service.routing_engine().clone();
+        let mut delta = IslWeights::default();
+        let mut prev: Vec<Option<SatId>> = Vec::new();
+        let mut report = SweepReport {
+            snapshots: Vec::with_capacity(times.len()),
+            total_queries: 0,
+            delta_recomputed: 0,
+            delta_skipped: 0,
+            delta_full_rebuilds: 0,
+        };
+        for (step, &t) in times.iter().enumerate() {
+            let view = self.service.view(t);
+            // Incremental weight refresh, chained from the previous
+            // instant and proven against the view's full refresh.
+            let stats = match view.fault_plan() {
+                Some(plan) => engine.refresh_delta_masked(view.snapshot(), plan, &mut delta),
+                None => engine.refresh_delta(view.snapshot(), &mut delta),
+            };
+            assert!(
+                delta.bits_eq(view.isl_weights()),
+                "delta refresh diverged from full refresh at t={t}"
+            );
+            report.delta_recomputed += stats.recomputed as u64;
+            report.delta_skipped += stats.skipped() as u64;
+            report.delta_full_rebuilds += u64::from(stats.full_rebuild);
+
+            // Fan the shards across the pool; results come back in
+            // shard order, so the fold below is thread-count-invariant.
+            let shard_ids: Vec<usize> = (0..self.users.num_shards()).collect();
+            let outs = parallel_map(shard_ids, self.config.threads, |&i| {
+                self.answer_shard(&view, i)
+            });
+
+            let mut row = SnapshotStats {
+                time_s: t,
+                served: 0,
+                unserved: 0,
+                handoffs: 0,
+                mean_rtt_ms: 0.0,
+                assignment_checksum: FNV_OFFSET,
+            };
+            let mut current: Vec<Option<SatId>> = Vec::with_capacity(self.users.num_users());
+            let mut rtt_sum = 0.0;
+            for out in &outs {
+                row.served += out.served;
+                row.unserved += out.assignments.len() as u64 - out.served;
+                rtt_sum += out.rtt_sum_ms;
+                for a in &out.assignments {
+                    row.assignment_checksum = fnv_assignment(row.assignment_checksum, a);
+                    current.push(a.map(|v| v.id));
+                }
+            }
+            row.mean_rtt_ms = if row.served > 0 {
+                rtt_sum / row.served as f64
+            } else {
+                0.0
+            };
+            if step > 0 {
+                row.handoffs = prev
+                    .iter()
+                    .zip(&current)
+                    .filter(|(p, c)| matches!((p, c), (Some(a), Some(b)) if a != b))
+                    .count() as u64;
+            }
+            leo_obs::counter!("serve.queries").add(current.len() as u64);
+            leo_obs::counter!("serve.handoffs").add(row.handoffs);
+            leo_obs::counter!("serve.snapshots").incr();
+            report.total_queries += current.len() as u64;
+
+            if self.config.validate_frontier && self.users.num_shards() > 0 {
+                let k = step % self.users.num_shards();
+                self.validate_shard_frontier(&view, &delta, k, &outs[k]);
+            }
+            prev = current;
+            report.snapshots.push(row);
+        }
+        report
+    }
+
+    /// Answers one shard against a view, timing the batch.
+    fn answer_shard(&self, view: &SnapshotView, i: usize) -> ShardOut {
+        let users = self.users.shard(i);
+        let start = Instant::now();
+        let assignments = self.service.nearest_servers_view(view, users);
+        let elapsed = start.elapsed().as_secs_f64();
+        if !users.is_empty() {
+            // Per-query latency, batch-averaged: one sample per shard
+            // (the histogram's count is the shard count, not the user
+            // count — documented in EXPERIMENTS.md).
+            leo_obs::histogram!("serve.query_latency_s").record(elapsed / users.len() as f64);
+        }
+        let mut served = 0;
+        let mut rtt_sum_ms = 0.0;
+        for a in assignments.iter().flatten() {
+            served += 1;
+            rtt_sum_ms += a.rtt_ms();
+        }
+        ShardOut {
+            assignments,
+            served,
+            rtt_sum_ms,
+        }
+    }
+
+    /// Re-derives shard `k`'s answers through the batched multi-source
+    /// frontier over the delta-refreshed weights: seed every satellite,
+    /// settle once, and the per-ground delays must equal each user's
+    /// nearest-server delay bit-for-bit (`INFINITY` where unserved).
+    fn validate_shard_frontier(
+        &self,
+        view: &SnapshotView,
+        delta: &IslWeights,
+        k: usize,
+        out: &ShardOut,
+    ) {
+        leo_obs::counter!("serve.frontier_validations").incr();
+        let users = self.users.shard(k);
+        if users.is_empty() {
+            return;
+        }
+        let engine = self.service.routing_engine();
+        let links = view.attach(users);
+        let sources: Vec<SatId> = (0..engine.num_sats() as u32).map(SatId).collect();
+        let mut frontier = Vec::new();
+        with_thread_arena(|arena| {
+            engine.multi_source_ground_delays_into(delta, &links, &sources, &mut frontier, arena);
+        });
+        for (j, (a, &f)) in out.assignments.iter().zip(&frontier).enumerate() {
+            let direct = a.map_or(f64::INFINITY, |v| v.delay_s());
+            assert!(
+                f.to_bits() == direct.to_bits(),
+                "multi-source frontier disagrees with nearest assignment \
+                 (shard {k}, user {j}: frontier {f}, direct {direct})"
+            );
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Folds one assignment into the checksum: the serving satellite (or a
+/// sentinel for unserved) and the exact delay bits.
+fn fnv_assignment(h: u64, a: &Option<VisibleSat>) -> u64 {
+    match a {
+        Some(v) => fnv_u64(fnv_u64(h, u64::from(v.id.0)), v.delay_s().to_bits()),
+        None => fnv_u64(h, u64::MAX),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::users::{synthesize_users, USER_SEED};
+    use leo_constellation::presets;
+    use leo_net::FaultConfig;
+
+    fn quick_config(threads: usize) -> ServeConfig {
+        ServeConfig {
+            band_deg: 6.0,
+            max_shard: 512,
+            threads,
+            validate_frontier: true,
+        }
+    }
+
+    fn population(n: usize) -> Vec<leo_net::routing::GroundEndpoint> {
+        synthesize_users(n, 2.0, USER_SEED)
+    }
+
+    #[test]
+    fn sweep_is_identical_across_thread_counts() {
+        let times: Vec<f64> = (0..3).map(|i| i as f64 * 60.0).collect();
+        let one = ServeEngine::new(
+            InOrbitService::new(presets::starlink_550_only()),
+            population(2000),
+            quick_config(1),
+        )
+        .sweep(&times);
+        let many = ServeEngine::new(
+            InOrbitService::new(presets::starlink_550_only()),
+            population(2000),
+            quick_config(8),
+        )
+        .sweep(&times);
+        assert_eq!(one, many);
+        assert_eq!(one.total_queries, 6000);
+        assert_eq!(one.delta_full_rebuilds, 1, "only the cold start rebuilds");
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_plain_service() {
+        let times = [0.0, 90.0];
+        let plain = ServeEngine::new(
+            InOrbitService::new(presets::starlink_550_only()),
+            population(1500),
+            quick_config(4),
+        )
+        .sweep(&times);
+        let faulted = ServeEngine::new(
+            InOrbitService::with_faults(presets::starlink_550_only(), FaultConfig::none()),
+            population(1500),
+            quick_config(4),
+        )
+        .sweep(&times);
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn dead_satellites_never_serve() {
+        let mut deaths = vec![f64::INFINITY; 400];
+        for d in deaths.iter_mut().take(400).skip(390) {
+            *d = 0.0;
+        }
+        let cfg = FaultConfig {
+            schedule: Some(leo_net::FailureSchedule::from_death_times(deaths)),
+            ..FaultConfig::none()
+        };
+        let service = InOrbitService::with_faults(presets::starlink_550_only(), cfg);
+        let engine = ServeEngine::new(service, population(1200), quick_config(4));
+        // The sweep's internal frontier validation and delta assertions
+        // all run under the fault plan.
+        let report = engine.sweep(&[0.0, 60.0]);
+        assert_eq!(report.snapshots.len(), 2);
+        // Killing satellites can only lose coverage relative to plain.
+        let plain = ServeEngine::new(
+            InOrbitService::new(presets::starlink_550_only()),
+            population(1200),
+            quick_config(4),
+        )
+        .sweep(&[0.0, 60.0]);
+        for (f, p) in report.snapshots.iter().zip(&plain.snapshots) {
+            assert!(f.served <= p.served);
+        }
+    }
+
+    #[test]
+    fn handoffs_are_zero_on_a_static_schedule() {
+        let engine = ServeEngine::new(
+            InOrbitService::new(presets::starlink_550_only()),
+            population(800),
+            quick_config(2),
+        );
+        let n_edges = engine.service().routing_engine().num_edges() as u64;
+        let report = engine.sweep(&[120.0, 120.0]);
+        assert_eq!(report.snapshots[0].handoffs, 0);
+        assert_eq!(
+            report.snapshots[1].handoffs, 0,
+            "identical snapshots cannot hand off"
+        );
+        assert_eq!(
+            report.snapshots[0].assignment_checksum,
+            report.snapshots[1].assignment_checksum
+        );
+        // The repeated instant is where the delta refresh pays off: the
+        // cold start rebuilds every edge, the second snapshot recomputes
+        // none of them.
+        assert_eq!(report.delta_full_rebuilds, 1);
+        assert_eq!(report.delta_recomputed, n_edges);
+        assert_eq!(report.delta_skipped, n_edges);
+    }
+}

@@ -1,0 +1,93 @@
+//! Synthetic user populations, population-weighted from the world-cities
+//! catalog.
+//!
+//! A "user" is just a [`GroundEndpoint`] at a plausible place: a real
+//! city drawn proportionally to population, plus a small uniform offset
+//! so a million users don't collapse onto ~600 exact points. Generation
+//! is a pure function of `(count, spread_deg, seed)` — the serving
+//! benchmarks lean on that for their byte-identity gates.
+
+use leo_cities::synth::SplitMix64;
+use leo_cities::WorldCities;
+use leo_geo::Geodetic;
+use leo_net::routing::GroundEndpoint;
+
+/// Default seed for user synthesis. Changing it reshuffles every serve
+/// benchmark's population (and its committed baseline numbers), so don't.
+pub const USER_SEED: u64 = 0x5EE_D05E_2026;
+
+/// Synthesizes `count` users around population-weighted city anchors,
+/// each offset uniformly by up to `±spread_deg` in latitude and
+/// longitude (longitude wrapping at the antimeridian, latitude clamped
+/// away from the poles). Endpoint indices run `0..count` in generation
+/// order.
+pub fn synthesize_users(count: usize, spread_deg: f64, seed: u64) -> Vec<GroundEndpoint> {
+    let catalog = WorldCities::load();
+    let cities = catalog.all();
+    assert!(!cities.is_empty(), "city catalog must not be empty");
+
+    // Cumulative population weights for proportional sampling.
+    let mut cumulative = Vec::with_capacity(cities.len());
+    let mut acc = 0u64;
+    for c in cities {
+        acc += c.population;
+        cumulative.push(acc);
+    }
+    let total = acc.max(1);
+
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let pick = (rng.next_f64() * total as f64) as u64;
+        let idx = cumulative
+            .partition_point(|&c| c <= pick)
+            .min(cities.len() - 1);
+        let anchor = &cities[idx];
+        let lat = (anchor.lat_deg + rng.range(-spread_deg, spread_deg)).clamp(-89.0, 89.0);
+        let mut lon = anchor.lon_deg + rng.range(-spread_deg, spread_deg);
+        if lon > 180.0 {
+            lon -= 360.0;
+        } else if lon < -180.0 {
+            lon += 360.0;
+        }
+        out.push(GroundEndpoint::new(i as u32, Geodetic::ground(lat, lon)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = synthesize_users(500, 2.0, USER_SEED);
+        let b = synthesize_users(500, 2.0, USER_SEED);
+        assert_eq!(a, b);
+        let c = synthesize_users(500, 2.0, USER_SEED + 1);
+        assert_ne!(a, c, "a different seed must reshuffle the population");
+    }
+
+    #[test]
+    fn users_stay_on_the_globe_and_indexed_in_order() {
+        let users = synthesize_users(1000, 2.0, USER_SEED);
+        assert_eq!(users.len(), 1000);
+        for (i, u) in users.iter().enumerate() {
+            assert_eq!(u.index, i as u32);
+            assert!(u.geodetic.lat.degrees().abs() <= 89.0);
+            assert!(u.geodetic.lon.degrees().abs() <= 180.0);
+        }
+    }
+
+    #[test]
+    fn population_weighting_concentrates_users_in_city_bands() {
+        // Most of the catalog's population lives in the northern
+        // mid-latitudes; a population-weighted draw must reflect that.
+        let users = synthesize_users(2000, 2.0, USER_SEED);
+        let northern = users
+            .iter()
+            .filter(|u| u.geodetic.lat.degrees() > 0.0)
+            .count();
+        assert!(northern > users.len() / 2);
+    }
+}

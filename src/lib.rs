@@ -49,6 +49,7 @@ pub use leo_feasibility as feasibility;
 pub use leo_geo as geo;
 pub use leo_net as net;
 pub use leo_orbit as orbit;
+pub use leo_serve as serve;
 pub use leo_sim as sim;
 
 /// The most common imports in one place.
