@@ -1,0 +1,215 @@
+//! The edge-workload benchmark: a serverless FaaS fleet on the
+//! constellation, driven by a seeded diurnal + flash-crowd demand
+//! scenario, reported as fleet utilization (busy vs standby vs idle
+//! satellite-seconds) — the number behind the paper's idle-infrastructure
+//! claim (Figs 4–5).
+//!
+//! Three identities are asserted in-binary on every run (and grepped by
+//! CI):
+//!
+//! - scenario generation is a pure function of its config: a second
+//!   generation is `==` the first;
+//! - a service carrying an empty fault plan places byte-identically to
+//!   a plain service;
+//! - every candidate-list head agrees with `nearest_servers_view` on
+//!   the same masked view (asserted inside the engine on every tick —
+//!   reaching the report at all means it held).
+//!
+//! `results/edge.json` holds only thread-count-invariant rows; wall
+//! times and counter rates live in `results/edge.meta.json`. Knobs:
+//! `LEO_EDGE_CELLS`, `LEO_EDGE_TICKS`, `LEO_EDGE_SLOTS`.
+//! Run: `cargo run -p leo-bench --release --bin fig_edge` (add `--quick`).
+
+use leo_bench::cli::{Run, RunConfig};
+use leo_constellation::presets;
+use leo_core::{FailureModel, InOrbitService};
+use leo_edge::{
+    EdgeConfig, EdgeEngine, EdgeReport, FunctionSpec, QosSpec, Scenario, ScenarioConfig,
+};
+use leo_net::FaultConfig;
+
+/// Tick spacing: one minute of orbital motion, matching the serve sweep.
+const TICK_S: f64 = 60.0;
+
+/// Annual per-satellite failure rate for the outage sweep — high enough
+/// that deaths land inside a two-hour window.
+const FAULT_RATE_PER_YEAR: f64 = 2000.0;
+
+/// Seed for the outage schedule's death draws.
+const FAULT_SEED: u64 = 42;
+
+struct Knobs {
+    cells: usize,
+    ticks: usize,
+    slots: u32,
+}
+
+/// Reads the edge knobs through the shared `RunConfig` warning path, so
+/// a typo'd variable lands in `edge.meta.json` like a bad `LEO_THREADS`
+/// does.
+fn knobs(config: &mut RunConfig) -> Knobs {
+    let quick = config.quick;
+    let already_warned = config.warnings.len();
+    let env = |name: &str| std::env::var(name).ok();
+    let k = Knobs {
+        cells: config.usize_knob(
+            "LEO_EDGE_CELLS",
+            env("LEO_EDGE_CELLS").as_deref(),
+            if quick { 24 } else { 96 },
+        ),
+        ticks: config.usize_knob(
+            "LEO_EDGE_TICKS",
+            env("LEO_EDGE_TICKS").as_deref(),
+            if quick { 12 } else { 120 },
+        ),
+        slots: config.usize_knob("LEO_EDGE_SLOTS", env("LEO_EDGE_SLOTS").as_deref(), 8) as u32,
+    };
+    for w in &config.warnings[already_warned..] {
+        eprintln!("warning: {w}");
+    }
+    k
+}
+
+fn scenario_config(k: &Knobs) -> ScenarioConfig {
+    ScenarioConfig {
+        num_cells: k.cells,
+        duration_s: k.ticks as f64 * TICK_S,
+        tick_s: TICK_S,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn functions() -> Vec<FunctionSpec> {
+    vec![FunctionSpec::interactive(), FunctionSpec::analytics()]
+}
+
+fn main() {
+    let mut config = RunConfig::from_env();
+    let k = knobs(&mut config);
+    let mut run = Run::with_config("edge", config);
+    let edge_config = EdgeConfig {
+        slots_per_server: k.slots,
+        qos: QosSpec::default(),
+        threads: run.threads(),
+    };
+
+    // Identity 1: the scenario is a pure function of its config.
+    let scenario = run.phase("generate", || {
+        let scenario = Scenario::generate(scenario_config(&k));
+        let again = Scenario::generate(scenario_config(&k));
+        assert_eq!(scenario, again, "scenario regeneration diverged");
+        scenario
+    });
+    println!(
+        "# edge scenario regeneration is deterministic ({} cells, {} flash crowds)",
+        scenario.cells().len(),
+        scenario.crowds().len()
+    );
+
+    // Main sweep: the full scenario on a plain service. The engine
+    // asserts the nearest_servers_view identity on every tick.
+    let report = run.phase("sweep", || {
+        let service = InOrbitService::new(presets::starlink_550_only());
+        EdgeEngine::new(&service, &scenario, functions(), edge_config).run()
+    });
+    println!("# candidate heads match nearest_servers_view on every tick");
+
+    // Identity 2: an empty fault plan must place byte-identically to
+    // the plain service.
+    run.phase("empty_plan_check", || {
+        let service =
+            InOrbitService::with_faults(presets::starlink_550_only(), FaultConfig::none());
+        let empty = EdgeEngine::new(&service, &scenario, functions(), edge_config).run();
+        assert_eq!(report, empty, "empty fault plan diverged from plain run");
+        println!("# empty fault plan byte-identical to plain edge run");
+    });
+
+    // Outage sweep: a seeded death schedule, so placement, replica
+    // repair, and the nearest_servers_view identity all run through the
+    // masked routing path.
+    let outage_report = run.phase("outage_sweep", || {
+        let constellation = presets::starlink_550_only();
+        let cfg = FaultConfig {
+            schedule: Some(
+                FailureModel {
+                    annual_failure_rate: FAULT_RATE_PER_YEAR,
+                    seed: FAULT_SEED,
+                }
+                .schedule(constellation.num_satellites()),
+            ),
+            ..FaultConfig::none()
+        };
+        let service = InOrbitService::with_faults(constellation, cfg);
+        EdgeEngine::new(&service, &scenario, functions(), edge_config).run()
+    });
+
+    print_summary(&report, &outage_report);
+    run.write_results(&EdgeResults {
+        sweep: report,
+        outage_sweep: outage_report,
+    });
+    let manifest = run.finish();
+    if let Some(rate) = manifest.rate_per_sec("edge.ticks", "sweep") {
+        println!("# throughput: {rate:.1} ticks/sec over the sweep phase");
+    }
+}
+
+/// The edge result file: thread-count-invariant rows only; wall times
+/// and counter rates live in the manifest.
+#[derive(serde::Serialize)]
+struct EdgeResults {
+    sweep: EdgeReport,
+    outage_sweep: EdgeReport,
+}
+
+fn print_summary(report: &EdgeReport, outage: &EdgeReport) {
+    let total = report.busy_sat_seconds + report.standby_sat_seconds + report.idle_sat_seconds;
+    println!(
+        "# fleet utilization: {:.2}% busy, {:.2}% standby, {:.2}% idle over {} sats x {} ticks",
+        100.0 * report.utilization,
+        100.0 * report.standby_sat_seconds / total,
+        100.0 * report.idle_sat_seconds / total,
+        report.num_sats,
+        report.ticks.len()
+    );
+    println!(
+        "# busy {:.0} / standby {:.0} / idle {:.0} satellite-seconds",
+        report.busy_sat_seconds, report.standby_sat_seconds, report.idle_sat_seconds
+    );
+    println!(
+        "# demand: {} invocations, {} served ({:.2}%), {} migrations, {} cold starts, {} replica repairs",
+        report.total_demand,
+        report.total_served,
+        100.0 * report.service_ratio,
+        report.total_migrations,
+        report.total_cold_starts,
+        report.total_replica_repairs
+    );
+    println!(
+        "{:>8} {:>6} {:>8} {:>8} {:>8} {:>6} {:>6} {:>8} {:>18}",
+        "t", "busy", "standby", "demand", "served", "migr", "cold", "repairs", "checksum"
+    );
+    for t in &report.ticks {
+        println!(
+            "{:>8.0} {:>6} {:>8} {:>8} {:>8} {:>6} {:>6} {:>8} {:>18x}",
+            t.time_s,
+            t.busy_sats,
+            t.standby_sats,
+            t.demand,
+            t.served,
+            t.migrations,
+            t.cold_starts,
+            t.replica_repairs,
+            t.placement_checksum
+        );
+    }
+    println!(
+        "# outage sweep: {:.2}% served (vs {:.2}% plain), {} replica repairs (vs {}), {} cold starts (vs {})",
+        100.0 * outage.service_ratio,
+        100.0 * report.service_ratio,
+        outage.total_replica_repairs,
+        report.total_replica_repairs,
+        outage.total_cold_starts,
+        report.total_cold_starts
+    );
+}

@@ -515,4 +515,41 @@ mod tests {
         assert_eq!(back.rate_per_sec("missing", "sweep"), None);
         assert_eq!(back.rate_per_sec("engine.dijkstra.pops", "missing"), None);
     }
+
+    /// A phase can legitimately record zero wall time (sub-resolution
+    /// work, or a clock that didn't advance). The rate must then be
+    /// `None`, never a division artifact like `inf` or `NaN`.
+    #[test]
+    fn rate_per_sec_of_zero_duration_phase_is_none() {
+        let m = RunManifest {
+            name: "edge".into(),
+            quick: true,
+            threads: 1,
+            config_warnings: vec![],
+            obs_level: "metrics".into(),
+            total_s: 0.0,
+            phases: vec![
+                PhaseRecord {
+                    name: "instant".into(),
+                    wall_s: 0.0,
+                },
+                PhaseRecord {
+                    name: "negative".into(),
+                    wall_s: -1.0, // a corrupted manifest must not yield a rate either
+                },
+            ],
+            counters: vec![CounterRecord {
+                name: "edge.ticks".into(),
+                value: 42,
+            }],
+            histograms: vec![],
+        };
+        assert_eq!(m.rate_per_sec("edge.ticks", "instant"), None);
+        assert_eq!(m.rate_per_sec("edge.ticks", "negative"), None);
+        // A zero *count* over real time is a legitimate rate of zero.
+        let mut m2 = m;
+        m2.phases[0].wall_s = 2.0;
+        m2.counters[0].value = 0;
+        assert_eq!(m2.rate_per_sec("edge.ticks", "instant"), Some(0.0));
+    }
 }

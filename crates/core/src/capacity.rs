@@ -111,6 +111,21 @@ impl<'a> CapacityPool<'a> {
         PlacementOutcome::CapacityExhausted
     }
 
+    /// Attempts to reserve `slots` on one *specific* server, returning
+    /// whether the reservation was admitted. This is the sticky-placement
+    /// primitive: a workload that already runs on a server wants to stay
+    /// there (no migration cost) even when a nearer server has opened up,
+    /// so the caller names the server instead of letting
+    /// [`CapacityPool::place`] pick the latency optimum.
+    pub fn try_reserve(&mut self, server: SatId, slots: u32) -> bool {
+        if self.free_slots(server) >= slots {
+            *self.used.entry(server).or_insert(0) += slots;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Releases slots previously placed on a server (e.g. on hand-off).
     ///
     /// # Panics
@@ -264,6 +279,29 @@ mod tests {
         assert_eq!(outcomes.len(), visible + 5);
         let expect = visible as f64 / (visible + 5) as f64;
         assert!((fraction - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_reserve_pins_a_specific_server_until_it_fills() {
+        let s = service();
+        let mut pool = CapacityPool::new(&s, 0.0, 2);
+        let target = s.reachable_servers(Geodetic::ground(10.0, 10.0), 0.0)[0].id;
+        assert!(pool.try_reserve(target, 1));
+        assert!(pool.try_reserve(target, 1));
+        assert_eq!(pool.free_slots(target), 0);
+        assert!(!pool.try_reserve(target, 1), "full server must refuse");
+        assert_eq!(pool.used_slots(), 2);
+        pool.release(target, 2);
+        assert!(pool.try_reserve(target, 2), "released capacity is reusable");
+    }
+
+    #[test]
+    fn try_reserve_respects_oversized_requests() {
+        let s = service();
+        let mut pool = CapacityPool::new(&s, 0.0, 4);
+        let target = s.reachable_servers(Geodetic::ground(10.0, 10.0), 0.0)[0].id;
+        assert!(!pool.try_reserve(target, 5), "request exceeds the server");
+        assert_eq!(pool.used_slots(), 0, "a refused reservation holds nothing");
     }
 
     #[test]

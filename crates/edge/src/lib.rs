@@ -1,0 +1,43 @@
+//! # leo-edge
+//!
+//! The serverless edge workload layer: the constellation operated as a
+//! FaaS fleet.
+//!
+//! The paper's core claim is that a mega-constellation is an
+//! under-utilized compute fleet (§4, Figs 4–5: most satellites idle over
+//! ocean and desert while demand crowds the cities). Testing that claim
+//! needs a *workload*, not just a routing engine. This crate supplies
+//! one, in the Komet / QoS-aware-placement mold (see PAPERS.md):
+//!
+//! * [`scenario`] — deterministic, seedable demand traces: diurnal
+//!   demand following city populations (via `leo-cities`), flash
+//!   crowds, all a pure function of `(config, seed)`;
+//! * [`replica`] — QoS k-replica coverage: every demand cell keeps `k`
+//!   warm state replicas within a latency bound, repaired as satellites
+//!   set or die (faults arrive through the `leo_net::fault` mask, so
+//!   replicas route around outages exactly like the serving layer);
+//! * [`placement`] — function placement on the satellite fleet:
+//!   cold-start vs warm-start costs, sticky hosts that migrate on
+//!   handover, per-satellite capacity from [`leo_core::capacity`];
+//! * [`fleet`] — the [`fleet::EdgeEngine`] that drives all three over a
+//!   snapshot schedule and reports fleet utilization (busy vs idle
+//!   satellite-seconds) — the number that speaks to the paper's
+//!   idle-infrastructure question.
+//!
+//! Everything reported is a pure function of the scenario and the fault
+//! plan: thread counts and observability levels change wall-clock,
+//! never bytes — the same guarantee the rest of the workspace holds,
+//! gated by `tests/edge_pipeline.rs` and the `fig_edge` CI job.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod placement;
+pub mod replica;
+pub mod scenario;
+
+pub use fleet::{EdgeConfig, EdgeEngine, EdgeReport, TickStats};
+pub use placement::{FunctionPlacement, FunctionSpec, PlaceStats};
+pub use replica::{CoverageReport, MaintainStats, QosSpec, ReplicaSets};
+pub use scenario::{DemandCell, FlashCrowd, Scenario, ScenarioConfig};

@@ -18,6 +18,9 @@
 //! | [`feasibility`] | `leo-feasibility` | §4 mass/power/thermal/reliability/cost models |
 //! | [`apps`] | `leo-apps` | Edge/CDN, multi-user QoE, Earth-observation models |
 //! | [`sim`] | `leo-sim` | Parallel time-sweep engine over cached snapshot views |
+//! | [`serve`] | `leo-serve` | Sharded million-user serving sweeps on delta-refreshed routing |
+//! | [`edge`] | `leo-edge` | Serverless FaaS workload layer: function placement, QoS replicas, demand scenarios |
+//! | [`obs`] | `leo-obs` | Counters, histograms, span timers, run manifests |
 //!
 //! ## Quickstart
 //!
@@ -45,9 +48,11 @@ pub use leo_apps as apps;
 pub use leo_cities as cities;
 pub use leo_constellation as constellation;
 pub use leo_core as core;
+pub use leo_edge as edge;
 pub use leo_feasibility as feasibility;
 pub use leo_geo as geo;
 pub use leo_net as net;
+pub use leo_obs as obs;
 pub use leo_orbit as orbit;
 pub use leo_serve as serve;
 pub use leo_sim as sim;

@@ -1,0 +1,184 @@
+//! End-to-end pipeline test for the edge workload layer: a full
+//! scenario run (diurnal demand + flash crowds + a seeded outage
+//! schedule) must produce byte-identical reports whatever the thread
+//! count and whatever the observability level, and a service carrying
+//! an empty fault plan must be indistinguishable from a plain one.
+//!
+//! This is the in-process twin of the CI `edge-smoke` job, which
+//! re-runs the `fig_edge` binary under `LEO_THREADS={1,4}` and
+//! `LEO_OBS={off,1}` and byte-diffs `results/edge.json`.
+
+use in_orbit::constellation::{Constellation, ShellSpec, WalkerPattern};
+use in_orbit::core::{FailureModel, InOrbitService};
+use in_orbit::edge::{
+    EdgeConfig, EdgeEngine, EdgeReport, FunctionSpec, QosSpec, Scenario, ScenarioConfig,
+};
+use in_orbit::geo::Angle;
+use in_orbit::net::FaultConfig;
+use in_orbit::obs::{set_level, Level};
+
+fn small_constellation() -> Constellation {
+    Constellation::from_shells(
+        "edge-pipeline",
+        vec![ShellSpec {
+            name: "shell".into(),
+            altitude_m: 550e3,
+            inclination: Angle::from_degrees(53.0),
+            num_planes: 10,
+            sats_per_plane: 10,
+            phase_factor: 1,
+            pattern: WalkerPattern::Delta,
+            min_elevation: Angle::from_degrees(25.0),
+        }],
+    )
+}
+
+/// A scenario small enough to run in milliseconds but exercising every
+/// feature: diurnal shaping, flash crowds, multi-tick migration churn.
+fn scenario() -> Scenario {
+    Scenario::generate(ScenarioConfig {
+        num_cells: 10,
+        duration_s: 1200.0,
+        tick_s: 120.0,
+        flash_crowds: 3,
+        ..ScenarioConfig::default()
+    })
+}
+
+fn functions() -> Vec<FunctionSpec> {
+    vec![
+        FunctionSpec {
+            max_rtt_ms: 16.0,
+            ..FunctionSpec::interactive()
+        },
+        FunctionSpec {
+            max_rtt_ms: 16.0,
+            ..FunctionSpec::analytics()
+        },
+    ]
+}
+
+fn config(threads: usize) -> EdgeConfig {
+    EdgeConfig {
+        slots_per_server: 4,
+        qos: QosSpec {
+            replicas: 2,
+            latency_bound_ms: 16.0,
+        },
+        threads,
+    }
+}
+
+fn outage_config(constellation: &Constellation) -> FaultConfig {
+    FaultConfig {
+        schedule: Some(
+            FailureModel {
+                annual_failure_rate: 5000.0,
+                seed: 7,
+            }
+            .schedule(constellation.num_satellites()),
+        ),
+        ..FaultConfig::none()
+    }
+}
+
+fn run_plain(threads: usize) -> EdgeReport {
+    let service = InOrbitService::new(small_constellation());
+    let scenario = scenario();
+    EdgeEngine::new(&service, &scenario, functions(), config(threads)).run()
+}
+
+fn run_outage(threads: usize) -> EdgeReport {
+    let constellation = small_constellation();
+    let faults = outage_config(&constellation);
+    let service = InOrbitService::with_faults(constellation, faults);
+    let scenario = scenario();
+    EdgeEngine::new(&service, &scenario, functions(), config(threads)).run()
+}
+
+fn json(report: &EdgeReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+#[test]
+fn plain_run_is_byte_identical_across_thread_counts() {
+    let one = run_plain(1);
+    let four = run_plain(4);
+    assert_eq!(one, four);
+    assert_eq!(json(&one), json(&four), "serialized bytes diverged");
+}
+
+#[test]
+fn outage_run_is_byte_identical_across_thread_counts() {
+    let one = run_outage(1);
+    let four = run_outage(4);
+    assert_eq!(one, four);
+    assert_eq!(json(&one), json(&four), "serialized bytes diverged");
+}
+
+#[test]
+fn run_is_byte_identical_across_obs_levels() {
+    // set_level is process-global, so both runs happen inside this one
+    // test; counters may record or not, but report bytes must not move.
+    set_level(Level::Off);
+    let off = run_outage(2);
+    set_level(Level::Full);
+    let full = run_outage(2);
+    set_level(Level::Off);
+    assert_eq!(off, full);
+    assert_eq!(json(&off), json(&full), "obs level leaked into results");
+}
+
+#[test]
+fn empty_fault_plan_equals_no_plan() {
+    let scenario = scenario();
+    let plain_service = InOrbitService::new(small_constellation());
+    let empty_service = InOrbitService::with_faults(small_constellation(), FaultConfig::none());
+    let plain = EdgeEngine::new(&plain_service, &scenario, functions(), config(2)).run();
+    let empty = EdgeEngine::new(&empty_service, &scenario, functions(), config(2)).run();
+    assert_eq!(plain, empty);
+    assert_eq!(json(&plain), json(&empty));
+}
+
+#[test]
+fn outage_degrades_but_never_corrupts_the_run() {
+    let plain = run_plain(2);
+    let outage = run_outage(2);
+    // The outage schedule kills real satellites inside the window, so
+    // the two runs must actually differ...
+    assert_ne!(plain, outage, "outage schedule had no effect — dead test");
+    // ...while every accounting invariant still holds.
+    for report in [&plain, &outage] {
+        let total = report.busy_sat_seconds + report.standby_sat_seconds + report.idle_sat_seconds;
+        let expect = report.num_sats as f64 * report.tick_s * report.ticks.len() as f64;
+        assert!(
+            (total - expect).abs() < 1e-6,
+            "satellite-seconds must partition"
+        );
+        assert!(report.total_served <= report.total_demand);
+        for t in &report.ticks {
+            assert!(t.served <= t.demand);
+            assert!(t.busy_sats + t.standby_sats <= report.num_sats);
+        }
+    }
+    assert!(
+        outage.total_served <= plain.total_served,
+        "deaths cannot add service"
+    );
+}
+
+#[test]
+fn flash_crowds_show_up_in_the_demand_trace() {
+    let s = scenario();
+    let crowd = s.crowds()[0];
+    let during = s.demand_at(crowd.cell, s.config().start_s + crowd.start_s + 1.0);
+    let before = s.demand_at(crowd.cell, s.config().start_s + crowd.start_s - 60.0);
+    assert!(
+        during > before,
+        "flash crowd invisible: {during} during vs {before} before"
+    );
+    // And the engine-level demand totals reflect the whole trace.
+    let report = run_plain(1);
+    let expected: u64 = s.ticks().iter().map(|&t| s.total_demand_at(t)).sum();
+    assert_eq!(report.total_demand, expected);
+}
