@@ -11,9 +11,10 @@
 //!   generation is `==` the first;
 //! - a service carrying an empty fault plan places byte-identically to
 //!   a plain service;
-//! - every candidate-list head agrees with `nearest_servers_view` on
-//!   the same masked view (asserted inside the engine on every tick —
-//!   reaching the report at all means it held).
+//! - the settled-frontier candidate lists agree with the serving
+//!   layer's per-cell nearest-server answer: one rotating cell per tick
+//!   re-runs the demoted scan and its head must match (asserted inside
+//!   the engine — reaching the report at all means it held).
 //!
 //! `results/edge.json` holds only thread-count-invariant rows; wall
 //! times and counter rates live in `results/edge.meta.json`. Knobs:
@@ -106,13 +107,14 @@ fn main() {
         scenario.crowds().len()
     );
 
-    // Main sweep: the full scenario on a plain service. The engine
-    // asserts the nearest_servers_view identity on every tick.
+    // Main sweep: the full scenario on a plain service, candidates from
+    // the settled frontier. The engine asserts a rotating sampled cell's
+    // head against nearest_server_view on every tick.
     let report = run.phase("sweep", || {
         let service = InOrbitService::new(presets::starlink_550_only());
         EdgeEngine::new(&service, &scenario, functions(), edge_config).run()
     });
-    println!("# candidate heads match nearest_servers_view on every tick");
+    println!("# frontier candidate heads match nearest_server_view (one sampled cell per tick)");
 
     // Identity 2: an empty fault plan must place byte-identically to
     // the plain service.
@@ -125,8 +127,8 @@ fn main() {
     });
 
     // Outage sweep: a seeded death schedule, so placement, replica
-    // repair, and the nearest_servers_view identity all run through the
-    // masked routing path.
+    // repair, the masked frontier passes, and the sampled head check
+    // all run through the masked routing path.
     let outage_report = run.phase("outage_sweep", || {
         let constellation = presets::starlink_550_only();
         let cfg = FaultConfig {

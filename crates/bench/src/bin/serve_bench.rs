@@ -3,13 +3,17 @@
 //!
 //! Synthesizes a population-weighted user set from the world-cities
 //! catalog, shards it by latitude band, and answers every user at every
-//! instant of the schedule through `leo-serve`. Three identities are
-//! asserted in-binary on every run (and grepped by CI):
+//! instant of the schedule through `leo-serve`'s **frontier-primary**
+//! path: one settled satellite-major pass per shard per snapshot,
+//! warm-started across snapshots, instead of one visibility scan per
+//! user. Identities asserted in-binary on every run (grepped by CI):
 //!
 //! - the delta weight refresh is bit-identical to the full refresh at
 //!   every snapshot, chained across the sweep;
-//! - the engine's batched multi-source frontier reproduces one shard's
-//!   per-user answers bitwise per snapshot;
+//! - on sampled snapshots (`LEO_SERVE_VALIDATE_EVERY`, every snapshot
+//!   in quick mode, every 4th in full mode) one shard's settled answers
+//!   are re-derived through the demoted per-user scans *and* the
+//!   engine's multi-source arg-min frontier, all three bitwise equal;
 //! - a service carrying an empty fault plan serves byte-identically to
 //!   a plain service, and the masked delta path holds under a real
 //!   outage schedule.
@@ -17,8 +21,11 @@
 //! `results/serve.json` holds only thread-count-invariant rows; the
 //! queries/sec headline lives in `results/serve.meta.json` (counter
 //! `serve.queries` over the `sweep` phase — run with `LEO_OBS=1`) and
-//! is what the CI perf gate diffs. Knobs: `LEO_SERVE_USERS`,
-//! `LEO_SERVE_SNAPSHOTS`, `LEO_SERVE_BAND_DEG`, `LEO_SERVE_SHARD_MAX`.
+//! is what the CI perf gate diffs, alongside the `engine.frontier.*` /
+//! `serve.frontier_*` work counters. The validation cadence is recorded
+//! in the manifest as counter `serve.frontier_validate_every`. Knobs:
+//! `LEO_SERVE_USERS`, `LEO_SERVE_SNAPSHOTS`, `LEO_SERVE_BAND_DEG`,
+//! `LEO_SERVE_SHARD_MAX`, `LEO_SERVE_VALIDATE_EVERY`.
 //! Run: `cargo run -p leo-bench --release --bin serve_bench`
 //! (add `--quick`).
 
@@ -47,6 +54,7 @@ struct Knobs {
     snapshots: usize,
     band_deg: f64,
     max_shard: usize,
+    validate_every: usize,
 }
 
 /// Reads the serve knobs through the shared `RunConfig` warning path, so
@@ -77,6 +85,15 @@ fn knobs(config: &mut RunConfig) -> Knobs {
             env("LEO_SERVE_SHARD_MAX").as_deref(),
             if quick { 16_384 } else { 65_536 },
         ),
+        // Quick mode validates every snapshot; full mode samples every
+        // 4th — the settled pass is proven bit-identical either way
+        // (and the serve test suite pins cadence-independence), so full
+        // runs don't pay the demoted per-user scans on every instant.
+        validate_every: config.usize_knob(
+            "LEO_SERVE_VALIDATE_EVERY",
+            env("LEO_SERVE_VALIDATE_EVERY").as_deref(),
+            if quick { 1 } else { 4 },
+        ),
     };
     for w in &config.warnings[already_warned..] {
         eprintln!("warning: {w}");
@@ -93,8 +110,11 @@ fn main() {
         band_deg: k.band_deg,
         max_shard: k.max_shard,
         threads,
-        validate_frontier: true,
+        validate_every: k.validate_every,
     };
+    // The sampling cadence is part of the run's provenance: record it
+    // in the manifest next to the validation counts it explains.
+    leo_obs::counter!("serve.frontier_validate_every").add(k.validate_every as u64);
     let times: Vec<f64> = (0..k.snapshots).map(|i| i as f64 * STEP_S).collect();
 
     let users = run.phase("generate_users", || {
@@ -116,7 +136,13 @@ fn main() {
         "# delta-refresh weights bit-identical to full refresh across {} snapshots",
         report.snapshots.len()
     );
-    println!("# multi-source frontier matches nearest assignments");
+    if k.validate_every > 0 {
+        println!("# multi-source frontier matches nearest assignments");
+        println!(
+            "# frontier-primary: settled pass validated against per-user scans every {} snapshot(s)",
+            k.validate_every
+        );
+    }
 
     // Identity check: an empty fault plan must serve byte-identically
     // to the plain service. A population subset keeps this O(seconds).

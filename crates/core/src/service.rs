@@ -5,6 +5,7 @@ use leo_constellation::{Constellation, SatId, Snapshot};
 use leo_geo::{look, Geodetic};
 use leo_net::engine::{with_thread_arena, GroundLinks, IslWeights, RoutingEngine};
 use leo_net::fault::{FaultConfig, FaultPlan};
+use leo_net::frontier::{self, BandSet, GroundSet, NearestState};
 use leo_net::routing::{self, GroundEndpoint};
 use leo_net::visibility::{self, VisibleSat};
 use leo_net::{IslTopology, NetworkGraph, VisibilityIndex};
@@ -137,6 +138,46 @@ impl SnapshotView {
     /// all rows sharing this worker's arena.
     pub fn delays_from_all(&self, links: &GroundLinks) -> Vec<Vec<f64>> {
         with_thread_arena(|arena| self.engine.delays_from_all(&self.isl, links, arena))
+    }
+
+    /// One settled satellite-major frontier pass over `set`: the nearest
+    /// visible (non-faulted) server for every point, in the caller's
+    /// point order — bit-identical to running
+    /// [`InOrbitService::nearest_servers_view`] over the same points, at
+    /// a fraction of the candidate scans. The settled labels stay in
+    /// `state` for [`SnapshotView::refresh_nearest_servers`] at the next
+    /// instant. Fault-plan aware through the view, like every query.
+    pub fn settle_nearest_servers(
+        &self,
+        set: &GroundSet,
+        state: &mut NearestState,
+        out: &mut Vec<Option<VisibleSat>>,
+    ) {
+        frontier::settle_nearest(&self.index, set, self.fault_plan(), state, out);
+    }
+
+    /// Warm-started refresh of a frontier settled at an earlier instant:
+    /// valid when this view's snapshot differs from the settled one by
+    /// exactly the satellites flagged in `moved` (bitwise position
+    /// compare) under an equal fault plan — then bit-identical to a cold
+    /// [`SnapshotView::settle_nearest_servers`]. Callers are expected to
+    /// verify both preconditions and fall back to a cold settle.
+    pub fn refresh_nearest_servers(
+        &self,
+        set: &GroundSet,
+        moved: &[bool],
+        state: &mut NearestState,
+        out: &mut Vec<Option<VisibleSat>>,
+    ) {
+        frontier::refresh_nearest(&self.index, set, self.fault_plan(), moved, state, out);
+    }
+
+    /// Full candidate lists for one latitude band of prepared points via
+    /// the settled frontier, as `(caller_point_index, candidates)` pairs
+    /// sorted nearest-first with `SatId` tie-breaks — the edge fleet's
+    /// per-cell query shape, without a per-cell visibility scan.
+    pub fn frontier_visible_lists(&self, band: &BandSet) -> Vec<(u32, Vec<VisibleSat>)> {
+        band.visible_lists(&self.index, self.fault_plan())
     }
 }
 
@@ -812,6 +853,90 @@ mod tests {
         let s = InOrbitService::with_faults(presets::starlink_550_only(), cfg);
         let next = s.nearest_server_view(&s.view(0.0), &user).unwrap();
         assert_ne!(next.id, victim, "a dead satellite must never serve");
+    }
+
+    fn spread_users(n: usize) -> Vec<GroundEndpoint> {
+        (0..n)
+            .map(|i| {
+                GroundEndpoint::new(
+                    i as u32,
+                    Geodetic::ground(
+                        -54.0 + (i as f64 * 1.37) % 108.0,
+                        -180.0 + (i as f64 * 11.31) % 360.0,
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn settled_frontier_equals_per_user_scans_through_the_view() {
+        let s = service();
+        let users = spread_users(400);
+        let set = GroundSet::build(&users.iter().map(|u| u.ecef).collect::<Vec<_>>());
+        for t in [0.0, 333.0] {
+            let view = s.view(t);
+            let legacy = s.nearest_servers_view(&view, &users);
+            let mut state = NearestState::default();
+            let mut settled = Vec::new();
+            view.settle_nearest_servers(&set, &mut state, &mut settled);
+            assert_eq!(legacy.len(), settled.len());
+            for (j, (a, b)) in legacy.iter().zip(&settled).enumerate() {
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(p), Some(q)) => {
+                        assert_eq!(p.id, q.id, "user {j}");
+                        assert_eq!(p.range_m.to_bits(), q.range_m.to_bits(), "user {j}");
+                    }
+                    _ => panic!("user {j}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn settled_frontier_equals_per_user_scans_under_faults() {
+        let mut deaths = vec![f64::INFINITY; 300];
+        for d in deaths.iter_mut().step_by(4) {
+            *d = 0.0;
+        }
+        let cfg = FaultConfig {
+            schedule: Some(leo_net::FailureSchedule::from_death_times(deaths)),
+            ..FaultConfig::none()
+        };
+        let s = InOrbitService::with_faults(presets::starlink_550_only(), cfg);
+        let users = spread_users(300);
+        let set = GroundSet::build(&users.iter().map(|u| u.ecef).collect::<Vec<_>>());
+        let view = s.view(120.0);
+        assert!(!view.fault_plan().unwrap().is_empty());
+        let legacy = s.nearest_servers_view(&view, &users);
+        let mut state = NearestState::default();
+        let mut settled = Vec::new();
+        view.settle_nearest_servers(&set, &mut state, &mut settled);
+        assert_eq!(legacy, settled);
+        for v in settled.iter().flatten() {
+            assert!(!view.fault_plan().unwrap().sat_dead(v.id));
+        }
+    }
+
+    #[test]
+    fn frontier_visible_lists_match_reachable_servers() {
+        let s = service();
+        let users = spread_users(120);
+        let pts: Vec<_> = users.iter().map(|u| u.ecef).collect();
+        let banded = leo_net::BandedGroundSets::build(&pts, 4.0);
+        let view = s.view(200.0);
+        let mut got: Vec<Option<Vec<VisibleSat>>> = vec![None; users.len()];
+        for band in banded.bands() {
+            for (g, list) in view.frontier_visible_lists(band) {
+                got[g as usize] = Some(list);
+            }
+        }
+        for (u, g) in users.iter().zip(got) {
+            let mut want = s.reachable_servers_in(view.snapshot(), u.geodetic);
+            want.sort_by(|a, b| a.range_m.total_cmp(&b.range_m).then(a.id.cmp(&b.id)));
+            assert_eq!(g.expect("every user banded"), want);
+        }
     }
 
     #[test]

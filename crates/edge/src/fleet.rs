@@ -9,11 +9,18 @@
 //! (holding only warm state replicas), and **idle** satellites (the
 //! rest), and integrating each class into satellite-seconds.
 //!
-//! Determinism: candidate lists are computed with
-//! [`leo_sim::parallel_map`] (order-preserving), and everything
-//! stateful — replica maintenance, capacity reservation, placement,
-//! demand accounting — runs in a sequential fold in cell order. Thread
-//! counts and observability levels change wall-clock, never bytes.
+//! Candidate lists come from the settled frontier
+//! ([`leo_net::frontier`]): demand cells are grouped into latitude
+//! bands once, and each tick runs one satellite-major pass per band —
+//! bit-identical to the per-cell visibility scans it replaced, which
+//! survive as a rotating one-cell-per-tick cross-check against the
+//! serving layer's own nearest-server answer.
+//!
+//! Determinism: band passes are fanned with [`leo_sim::parallel_map`]
+//! (order-preserving), and everything stateful — replica maintenance,
+//! capacity reservation, placement, demand accounting — runs in a
+//! sequential fold in cell order. Thread counts and observability
+//! levels change wall-clock, never bytes.
 
 use crate::placement::{FunctionPlacement, FunctionSpec};
 use crate::replica::{QosSpec, ReplicaSets};
@@ -25,6 +32,11 @@ use serde::{Deserialize, Serialize};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Latitude band height for grouping demand cells into frontier ground
+/// sets — the serving layer's sharding default. Purely a work knob:
+/// banding never changes candidate lists, only pass shapes.
+const CELL_BAND_DEG: f64 = 4.0;
 
 fn fnv_fold(hash: u64, value: u64) -> u64 {
     (hash ^ value).wrapping_mul(FNV_PRIME)
@@ -162,30 +174,40 @@ impl<'a> EdgeEngine<'a> {
         let mut replicas = ReplicaSets::new(endpoints.len());
         let mut placement = FunctionPlacement::new(endpoints.len(), num_funcs);
         let bound_ms = self.candidate_bound_ms();
+        // Band the demand cells once: each tick then answers every
+        // cell's candidate list with one settled satellite-major pass
+        // per band instead of one visibility scan per cell.
+        let cells: Vec<_> = endpoints.iter().map(|e| e.ecef).collect();
+        let banded = leo_net::BandedGroundSets::build(&cells, CELL_BAND_DEG);
         let mut ticks: Vec<TickStats> = Vec::new();
-        for t in self.scenario.ticks() {
+        for (tick_i, t) in self.scenario.ticks().into_iter().enumerate() {
             let view = self.service.view(t);
-            // Parallel fan-out: per-cell visible-server lists, sorted
-            // nearest-first with id tie-breaks. Order-preserving, so
-            // thread count never reorders the fold below.
-            let all: Vec<Vec<VisibleSat>> =
-                leo_sim::parallel_map(endpoints.clone(), self.config.threads, |ep| {
-                    let mut v = match view.fault_plan() {
-                        Some(plan) => view.index().query_masked(ep.ecef, plan),
-                        None => view.index().query(ep.ecef),
-                    };
-                    v.sort_by(|a, b| a.range_m.total_cmp(&b.range_m).then(a.id.cmp(&b.id)));
-                    v
-                });
-            // The head of every list must agree with the service's own
-            // nearest-server answer on the same (masked) view — the
-            // cheap cross-check tying this crate to the serving layer.
-            let nearest = self.service.nearest_servers_view(&view, &endpoints);
-            for (cands, near) in all.iter().zip(&nearest) {
+            // Parallel fan-out over latitude bands: per-cell
+            // visible-server lists, sorted nearest-first with id
+            // tie-breaks. Order-preserving, and each cell belongs to
+            // exactly one band, so thread count never reorders the
+            // fold below.
+            let band_ids: Vec<usize> = (0..banded.num_bands()).collect();
+            let per_band = leo_sim::parallel_map(band_ids, self.config.threads, |&b| {
+                view.frontier_visible_lists(&banded.bands()[b])
+            });
+            let mut all: Vec<Vec<VisibleSat>> = vec![Vec::new(); endpoints.len()];
+            for band in per_band {
+                for (cell, list) in band {
+                    all[cell as usize] = list;
+                }
+            }
+            // One rotating cell per tick re-runs the demoted per-cell
+            // scan through the service's own nearest-server answer —
+            // the cross-check tying this crate to the serving layer
+            // without re-scanning the whole fleet's visibility.
+            if !endpoints.is_empty() {
+                let probe = tick_i % endpoints.len();
+                let near = self.service.nearest_server_view(&view, &endpoints[probe]);
                 assert_eq!(
-                    cands.first().map(|c| c.id),
-                    near.map(|v| v.id),
-                    "candidate head disagrees with nearest_servers_view"
+                    all[probe].first().map(|c| (c.id, c.range_m.to_bits())),
+                    near.map(|v| (v.id, v.range_m.to_bits())),
+                    "candidate head disagrees with nearest_server_view (cell {probe})"
                 );
             }
             let qos_cands = filter_bound(&all, self.config.qos.latency_bound_ms);

@@ -321,6 +321,10 @@ pub struct DijkstraArena {
     /// finite `f64` bit patterns order like the floats themselves, so one
     /// integer compare replaces `total_cmp` plus a tie-break.
     heap: BinaryHeap<Reverse<u128>>,
+    /// Per-node winning-source labels for the arg-min settle
+    /// ([`RoutingEngine::multi_source_ground_frontier_into`]); resized
+    /// and reset per query, reused across queries.
+    labels: Vec<u32>,
 }
 
 impl DijkstraArena {
@@ -753,6 +757,7 @@ impl RoutingEngine {
             scratch,
             buckets,
             heap,
+            ..
         } = arena;
         scratch.set(src, 0.0);
         let wmin = weights
@@ -1054,6 +1059,114 @@ impl RoutingEngine {
         out.copy_within(self.num_sats.., 0);
         out.truncate(links.num_grounds());
     }
+
+    /// [`RoutingEngine::multi_source_ground_delays_into`] extended to an
+    /// **arg-min frontier**: alongside each ground slot's minimum delay,
+    /// records *which* source wins it (`None` where no source reaches).
+    /// `delays` is bit-identical to the plain multi-source settle.
+    ///
+    /// Ties are deterministic: when several sources reach a ground slot
+    /// at the exact same settled delay, the lowest `SatId` wins —
+    /// matching the `selection` module's tie-break rules, so the winner
+    /// is a pure function of the weights, never of settle order. The
+    /// settle carries one source label per node and re-relaxes on
+    /// equal-distance label improvements; labels at a node only ever
+    /// decrease, so the pass terminates at the unique least-label
+    /// fixpoint over all shortest paths.
+    ///
+    /// Always settles on the binary heap: this is the validation-side
+    /// query (cadence-sampled by the serving layer), so the bucket-queue
+    /// fast path is not worth carrying the equal-distance re-push proof
+    /// for. Heap and bucket settles are bit-identical in the distances
+    /// they produce, so `delays` still matches the plain settle exactly.
+    pub fn multi_source_ground_frontier_into(
+        &self,
+        weights: &IslWeights,
+        links: &GroundLinks,
+        sources: &[SatId],
+        delays: &mut Vec<f64>,
+        winners: &mut Vec<Option<SatId>>,
+        arena: &mut DijkstraArena,
+    ) {
+        debug_assert_eq!(links.num_sats, self.num_sats);
+        leo_obs::counter!("engine.frontier.argmin_settles").incr();
+        let n = self.num_sats + links.num_grounds();
+        delays.clear();
+        delays.resize(n, f64::INFINITY);
+        arena.clear_queues();
+        arena.labels.clear();
+        arena.labels.resize(n, u32::MAX);
+        let mut store = SliceStore(delays);
+        leo_obs::counter!("engine.dijkstra.heap_queries").incr();
+        for &s in sources {
+            store.set(s.0, 0.0);
+            arena.labels[s.0 as usize] = arena.labels[s.0 as usize].min(s.0);
+            arena.heap.push(Reverse(heap_key(0.0, s.0)));
+        }
+        self.search_heap_argmin(weights, links, &mut store, &mut arena.heap, &mut arena.labels);
+        winners.clear();
+        winners.extend((0..links.num_grounds()).map(|g| {
+            let node = self.ground_node(g) as usize;
+            (delays[node].is_finite()).then(|| SatId(arena.labels[node]))
+        }));
+        delays.copy_within(self.num_sats.., 0);
+        delays.truncate(links.num_grounds());
+    }
+
+    /// Heap settle carrying per-node source labels. Distances relax
+    /// exactly as in [`RoutingEngine::search_heap`]; additionally, an
+    /// equal-distance relaxation that would lower a node's label updates
+    /// the label and re-pushes the node so the improvement propagates.
+    /// Every edge weight is strictly positive, so all equal-distance
+    /// improvements to a node are enqueued before the node first pops,
+    /// and re-pops re-relax idempotently.
+    fn search_heap_argmin<S: DistStore>(
+        &self,
+        weights: &IslWeights,
+        links: &GroundLinks,
+        store: &mut S,
+        heap: &mut BinaryHeap<Reverse<u128>>,
+        labels: &mut [u32],
+    ) {
+        let mut tally = SearchTally::default();
+        while let Some(Reverse(key)) = heap.pop() {
+            let u = key as u32;
+            let d = f64::from_bits((key >> 32) as u64);
+            if d > store.dist_of(u) {
+                continue; // stale heap entry
+            }
+            tally.pops += 1;
+            let label = labels[u as usize];
+            let mut relax = |v: u32, nd: f64, store: &mut S, heap: &mut BinaryHeap<Reverse<u128>>, tally: &mut SearchTally| {
+                let dv = store.dist_of(v);
+                if nd < dv {
+                    store.set(v, nd);
+                    labels[v as usize] = label;
+                    tally.relaxations += 1;
+                    heap.push(Reverse(heap_key(nd, v)));
+                } else if nd == dv && label < labels[v as usize] {
+                    labels[v as usize] = label;
+                    heap.push(Reverse(heap_key(nd, v)));
+                }
+            };
+            if (u as usize) < self.num_sats {
+                let (lo, hi) = (
+                    self.offsets[u as usize] as usize,
+                    self.offsets[u as usize + 1] as usize,
+                );
+                for (&v, &w) in self.targets[lo..hi].iter().zip(&weights.slots[lo..hi]) {
+                    relax(v, d + w, store, heap, &mut tally);
+                }
+                for &(g, w) in links.down_of(u as usize) {
+                    relax(self.ground_node(g as usize), d + w, store, heap, &mut tally);
+                }
+            } else {
+                for &(s, w) in links.up_of(u as usize - self.num_sats) {
+                    relax(s, d + w, store, heap, &mut tally);
+                }
+            }
+        }
+    }
 }
 
 /// Runs `f` with this thread's reusable [`DijkstraArena`]. Worker threads
@@ -1075,7 +1188,7 @@ mod tests {
     use super::*;
     use crate::routing::{self, build_graph};
     use leo_constellation::presets;
-    use leo_geo::Geodetic;
+    use leo_geo::{Ecef, Geodetic};
 
     fn setup() -> (Constellation, IslTopology, RoutingEngine) {
         let c = presets::starlink_550_only();
@@ -1509,5 +1622,143 @@ mod tests {
         let mut arena = DijkstraArena::new();
         engine.multi_source_ground_delays_into(&weights, &links, &[], &mut out, &mut arena);
         assert_eq!(out, vec![f64::INFINITY]);
+    }
+
+    #[test]
+    fn argmin_frontier_delays_match_plain_multi_source() {
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(240.0);
+        let weights = engine.refresh(&snap);
+        let grounds = [
+            endpoint(0, 9.06, 7.49),
+            endpoint(1, -33.87, 151.21),
+            endpoint(2, 51.5, -0.1),
+        ];
+        let links = engine.attach_scan(&c, &snap, &grounds);
+        let mut arena = DijkstraArena::new();
+        let sources = [SatId(11), SatId(480), SatId(909), SatId(1501)];
+        let mut plain = Vec::new();
+        engine.multi_source_ground_delays_into(&weights, &links, &sources, &mut plain, &mut arena);
+        let (mut delays, mut winners) = (Vec::new(), Vec::new());
+        engine.multi_source_ground_frontier_into(
+            &weights,
+            &links,
+            &sources,
+            &mut delays,
+            &mut winners,
+            &mut arena,
+        );
+        assert_eq!(plain.len(), delays.len());
+        for (g, (a, b)) in plain.iter().zip(&delays).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "ground {g}");
+        }
+        // Every winner is one of the sources and reproduces the delay as
+        // its own single-source run.
+        let mut single = Vec::new();
+        for (g, w) in winners.iter().enumerate() {
+            match w {
+                Some(s) => {
+                    assert!(sources.contains(s), "ground {g} won by a non-source");
+                    engine.multi_source_ground_delays_into(
+                        &weights,
+                        &links,
+                        std::slice::from_ref(s),
+                        &mut single,
+                        &mut arena,
+                    );
+                    assert_eq!(single[g].to_bits(), delays[g].to_bits(), "ground {g}");
+                }
+                None => assert!(delays[g].is_infinite(), "ground {g}"),
+            }
+        }
+    }
+
+    #[test]
+    fn argmin_frontier_winner_is_the_lowest_id_single_source_argmin() {
+        // The winner must be exactly the arg-min over per-source runs,
+        // ties to the lowest SatId — never an artifact of settle order.
+        let (c, _, engine) = setup();
+        let snap = c.snapshot(777.0);
+        let weights = engine.refresh(&snap);
+        let grounds = [endpoint(0, 0.0, 0.0), endpoint(1, 47.38, 8.54)];
+        let links = engine.attach_scan(&c, &snap, &grounds);
+        let mut arena = DijkstraArena::new();
+        let sources: Vec<SatId> = (0..engine.num_sats() as u32).step_by(7).map(SatId).collect();
+        let (mut delays, mut winners) = (Vec::new(), Vec::new());
+        engine.multi_source_ground_frontier_into(
+            &weights,
+            &links,
+            &sources,
+            &mut delays,
+            &mut winners,
+            &mut arena,
+        );
+        let mut single = Vec::new();
+        for g in 0..grounds.len() {
+            let mut best: Option<(f64, u32)> = None;
+            for &s in &sources {
+                engine.multi_source_ground_delays_into(
+                    &weights,
+                    &links,
+                    std::slice::from_ref(&s),
+                    &mut single,
+                    &mut arena,
+                );
+                let d = single[g];
+                if d.is_finite() && best.map_or(true, |(bd, bi)| d < bd || (d == bd && s.0 < bi)) {
+                    best = Some((d, s.0));
+                }
+            }
+            match best {
+                Some((d, i)) => {
+                    assert_eq!(delays[g].to_bits(), d.to_bits(), "ground {g}");
+                    assert_eq!(winners[g], Some(SatId(i)), "ground {g}");
+                }
+                None => assert_eq!(winners[g], None, "ground {g}"),
+            }
+        }
+    }
+
+    #[test]
+    fn argmin_frontier_breaks_equal_delay_ties_to_the_lowest_sat_id() {
+        // Two sources at mirrored positions relative to a ground point on
+        // the prime meridian: their up-link delays are bit-equal (the
+        // range computation squares the mirrored coordinate, so the sign
+        // vanishes exactly), and the tie must break to the lower SatId.
+        let (c, _, engine) = setup();
+        let mut snap = c.snapshot(0.0);
+        let ground = endpoint(0, 0.0, 0.0);
+        let ge = ground.ecef.0;
+        // Plant two satellites symmetrically above the ground point,
+        // mirrored in y, and park them high enough to be each other's
+        // best visible servers for this ground.
+        let a = Ecef::new(ge.x + 550e3, ge.y + 200e3, ge.z);
+        let b = Ecef::new(ge.x + 550e3, -(ge.y + 200e3), ge.z);
+        snap.positions[40] = a;
+        snap.positions[41] = b;
+        assert_eq!(
+            ground.ecef.distance_m(a).to_bits(),
+            ground.ecef.distance_m(b).to_bits(),
+            "mirrored geometry must give bit-equal ranges"
+        );
+        let weights = engine.refresh(&snap);
+        let links = engine.attach_scan(&c, &snap, std::slice::from_ref(&ground));
+        let mut arena = DijkstraArena::new();
+        let (mut delays, mut winners) = (Vec::new(), Vec::new());
+        // Seed in descending id order: the tie-break must not care.
+        engine.multi_source_ground_frontier_into(
+            &weights,
+            &links,
+            &[SatId(41), SatId(40)],
+            &mut delays,
+            &mut winners,
+            &mut arena,
+        );
+        assert!(delays[0].is_finite(), "planted sats must reach the ground");
+        assert_eq!(
+            winners[0],
+            Some(SatId(40)),
+            "equal-delay tie must break to the lowest SatId"
+        );
     }
 }

@@ -248,6 +248,31 @@ impl VisibilityIndex {
         leo_obs::counter!("fault.masked_access_links").add(masked);
     }
 
+    /// The per-shell candidate windows covering every ground point with
+    /// geocentric latitude in `[lat_lo, lat_hi]` — the satellite-major
+    /// entry point of the settled frontier (`crate::frontier`). Each
+    /// window is the union over the latitude interval of the band
+    /// windows [`Self::for_each_visible`] would scan per point
+    /// (`band_of` is monotone in latitude, so taking the interval's
+    /// endpoints covers every point between them), carrying the shell's
+    /// exact range/elevation test parameters.
+    pub(crate) fn shell_windows(&self, lat_lo: f64, lat_hi: f64) -> Vec<ShellWindow<'_>> {
+        debug_assert!(lat_lo <= lat_hi, "empty latitude interval");
+        self.shells
+            .iter()
+            .map(|sh| {
+                let reach = sh.central_angle_rad + LAT_EPS_RAD;
+                let lo = sh.band_of((lat_lo - reach).max(-std::f64::consts::FRAC_PI_2));
+                let hi = sh.band_of((lat_hi + reach).min(std::f64::consts::FRAC_PI_2));
+                ShellWindow {
+                    max_range_m: sh.max_range_m,
+                    min_elevation: sh.min_elevation,
+                    entries: &sh.entries[sh.band_offsets[lo] as usize..sh.band_offsets[hi + 1] as usize],
+                }
+            })
+            .collect()
+    }
+
     /// Indexed version of [`crate::visibility::coverage_mask`]: marks the
     /// satellites visible from at least one of `grounds` (spherical-model
     /// ECEF). Returns one boolean per satellite, indexed by `SatId.0`.
@@ -268,8 +293,18 @@ impl VisibilityIndex {
     }
 }
 
+/// One shell's candidate slice for a latitude interval, with the exact
+/// per-pair test parameters [`VisibilityIndex::for_each_visible`] uses.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShellWindow<'a> {
+    pub max_range_m: f64,
+    pub min_elevation: leo_geo::Angle,
+    /// `(id, position)` candidates, id-sorted within each latitude band.
+    pub entries: &'a [(SatId, Ecef)],
+}
+
 /// Geocentric latitude (radians) of an ECEF position; 0 for the origin.
-fn geocentric_latitude(p: Ecef) -> f64 {
+pub(crate) fn geocentric_latitude(p: Ecef) -> f64 {
     let r = p.0.norm();
     if r == 0.0 {
         return 0.0;

@@ -45,6 +45,7 @@
 pub mod des;
 pub mod engine;
 pub mod fault;
+pub mod frontier;
 pub mod graph;
 pub mod handover;
 pub mod index;
@@ -56,6 +57,7 @@ pub mod weather;
 
 pub use engine::{DeltaStats, DijkstraArena, GroundLinks, IslWeights, RoutingEngine};
 pub use fault::{FailureSchedule, FaultConfig, FaultPlan, GroundFade, RainFade};
+pub use frontier::{BandedGroundSets, GroundSet, NearestState};
 pub use graph::{NetworkGraph, NodeId, Path};
 pub use index::VisibilityIndex;
 pub use isl::IslTopology;

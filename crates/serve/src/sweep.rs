@@ -2,27 +2,53 @@
 //! population over a snapshot schedule, on delta-refreshed routing
 //! state.
 //!
-//! Per snapshot the engine runs one incremental weight refresh
+//! **Frontier-primary.** Each shard's assignments come from one settled
+//! satellite-major pass ([`SnapshotView::settle_nearest_servers`]) per
+//! snapshot — candidate satellites challenge the shard's
+//! longitude-sorted users inside their coverage wedges — instead of one
+//! visibility scan per user. The settled pass is bit-identical to the
+//! per-user scans by construction (conservative prunes, exact per-pair
+//! tests, order-independent arg-min; see `leo_net::frontier`), and the
+//! demoted per-user scan survives as an opt-in, sampled validation mode
+//! ([`ServeConfig::validate_every`]) that re-derives whole shards and
+//! asserts equality.
+//!
+//! **Warm-started across snapshots.** Each shard keeps its settled
+//! labels. When a snapshot's positions differ from the previous one by
+//! only a subset of satellites (bitwise compare) under an equal fault
+//! plan, the pass refreshes incrementally — stale winners rescan, moved
+//! satellites re-challenge — and with nothing moved it reuses the labels
+//! outright (`serve.frontier_reuse`). Any doubt (first snapshot, plan
+//! change, wholesale motion) falls back to a cold settle; every path
+//! yields the same bytes, which is what the sampled validation and the
+//! property tests prove.
+//!
+//! Per snapshot the engine still runs one incremental weight refresh
 //! ([`RoutingEngine::refresh_delta_masked`]) on the main thread and
 //! **asserts** the result bit-identical to the view's full refresh —
-//! the serving layer never trades correctness for the delta path's
-//! speed, it proves the two equal on every instant it serves. Shards
-//! then fan across the worker pool; each worker answers its shard's
-//! users against the shared view, and (in validation mode) the batched
-//! multi-source frontier re-derives one shard's answers per snapshot
-//! through the delta-refreshed weights as a second, independent proof.
+//! the serving layer never trades correctness for an incremental path's
+//! speed, it proves the two equal on every instant it serves. In
+//! validation mode the batched multi-source **arg-min** frontier
+//! ([`RoutingEngine::multi_source_ground_frontier_into`]) additionally
+//! re-derives the sampled shard's winners and delays through the
+//! delta-refreshed weights as a third, independent proof.
 //!
 //! Everything reported in [`SnapshotStats`] is a pure function of the
 //! population and the schedule: thread counts change wall-clock, never
 //! bytes.
+//!
+//! [`RoutingEngine::refresh_delta_masked`]: leo_net::RoutingEngine::refresh_delta_masked
+//! [`RoutingEngine::multi_source_ground_frontier_into`]: leo_net::RoutingEngine::multi_source_ground_frontier_into
 
 use crate::shard::ShardedUsers;
 use leo_constellation::SatId;
 use leo_core::{InOrbitService, SnapshotView};
 use leo_net::engine::with_thread_arena;
-use leo_net::{IslWeights, VisibleSat};
+use leo_net::fault::FaultPlan;
+use leo_net::{GroundSet, IslWeights, NearestState, VisibleSat};
 use leo_sim::parallel_map;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Knobs of a serve sweep. Sharding and validation cadence are part of
@@ -35,9 +61,13 @@ pub struct ServeConfig {
     pub max_shard: usize,
     /// Worker-pool size for the per-shard fan-out.
     pub threads: usize,
-    /// Re-derive one shard per snapshot through the batched multi-source
-    /// frontier and assert it matches the per-user answers bitwise.
-    pub validate_frontier: bool,
+    /// Validation cadence: every `validate_every`-th snapshot, re-derive
+    /// one shard through the demoted per-user scans *and* the batched
+    /// multi-source arg-min frontier, asserting both bit-identical to
+    /// the settled answers. `1` validates every snapshot, `0` disables
+    /// validation entirely. Observation-only: the reported bytes are
+    /// identical at any cadence.
+    pub validate_every: usize,
 }
 
 impl Default for ServeConfig {
@@ -46,7 +76,7 @@ impl Default for ServeConfig {
             band_deg: 4.0,
             max_shard: 65_536,
             threads: leo_sim::default_threads(),
-            validate_frontier: true,
+            validate_every: 1,
         }
     }
 }
@@ -94,6 +124,9 @@ pub struct SweepReport {
 pub struct ServeEngine {
     service: InOrbitService,
     users: ShardedUsers,
+    /// One longitude-sorted [`GroundSet`] per shard, built once — the
+    /// satellite-major pass's static half.
+    sets: Vec<GroundSet>,
     config: ServeConfig,
 }
 
@@ -104,6 +137,32 @@ struct ShardOut {
     rtt_sum_ms: f64,
 }
 
+/// How this snapshot's settled pass relates to the previous one —
+/// decided once per snapshot on the main thread, applied to every
+/// shard. All variants produce identical bytes; they differ only in
+/// work.
+enum SettleMode {
+    /// No usable prior labels (first snapshot, fault-plan change, or
+    /// wholesale satellite motion): settle from scratch.
+    Cold,
+    /// Positions differ from the previous snapshot by exactly the
+    /// flagged satellites, under an equal fault plan: refresh the
+    /// prior labels incrementally (with nothing flagged, reuse them
+    /// outright).
+    Warm(Vec<bool>),
+}
+
+/// Warm refreshes beat cold settles only while few satellites moved;
+/// past this fraction the dirty-user rescans cost more than starting
+/// over. A work heuristic only — both paths produce identical bytes.
+const WARM_MOVED_MAX_FRAC: f64 = 0.25;
+
+/// Fault plans compare for warm-start purposes with empty plans
+/// normalized away: an empty plan masks nothing, exactly like no plan.
+fn effective_plan(plan: Option<&FaultPlan>) -> Option<&FaultPlan> {
+    plan.filter(|p| !p.is_empty())
+}
+
 impl ServeEngine {
     /// Shards `users` per `config` and binds them to `service`.
     pub fn new(
@@ -112,9 +171,16 @@ impl ServeEngine {
         config: ServeConfig,
     ) -> Self {
         let users = ShardedUsers::build(users, config.band_deg, config.max_shard);
+        let sets = (0..users.num_shards())
+            .map(|i| {
+                let pts: Vec<_> = users.shard(i).iter().map(|u| u.ecef).collect();
+                GroundSet::build(&pts)
+            })
+            .collect();
         ServeEngine {
             service,
             users,
+            sets,
             config,
         }
     }
@@ -129,19 +195,25 @@ impl ServeEngine {
         &self.service
     }
 
-    /// Answers every user at every instant of `times`, chaining the
-    /// delta refresh across snapshots.
+    /// Answers every user at every instant of `times` with one settled
+    /// frontier pass per shard, chaining the delta weight refresh and
+    /// the shard frontiers across snapshots.
     ///
     /// # Panics
     /// Panics if the delta-refreshed weights ever diverge from the
-    /// view's full refresh, or if the multi-source frontier disagrees
-    /// with a per-user answer (validation mode) — both are broken-build
-    /// signals, not runtime conditions to tolerate.
+    /// view's full refresh, or if — in validation mode — the settled
+    /// frontier disagrees with the demoted per-user scans or with the
+    /// multi-source arg-min frontier. All are broken-build signals, not
+    /// runtime conditions to tolerate.
     pub fn sweep(&self, times: &[f64]) -> SweepReport {
         let _span = leo_obs::span!("serve.sweep_s");
         let engine = self.service.routing_engine().clone();
         let mut delta = IslWeights::default();
         let mut prev: Vec<Option<SatId>> = Vec::new();
+        let mut prev_view: Option<std::sync::Arc<SnapshotView>> = None;
+        let mut states: Vec<NearestState> = (0..self.users.num_shards())
+            .map(|_| NearestState::default())
+            .collect();
         let mut report = SweepReport {
             snapshots: Vec::with_capacity(times.len()),
             total_queries: 0,
@@ -165,12 +237,32 @@ impl ServeEngine {
             report.delta_skipped += stats.skipped() as u64;
             report.delta_full_rebuilds += u64::from(stats.full_rebuild);
 
-            // Fan the shards across the pool; results come back in
-            // shard order, so the fold below is thread-count-invariant.
-            let shard_ids: Vec<usize> = (0..self.users.num_shards()).collect();
-            let outs = parallel_map(shard_ids, self.config.threads, |&i| {
-                self.answer_shard(&view, i)
+            let mode = settle_mode(prev_view.as_deref(), &view);
+
+            // Fan the shards across the pool, threading each shard's
+            // persistent frontier labels through the items; results come
+            // back in shard order, so the fold below (and the labels
+            // each shard carries into the next snapshot) are
+            // thread-count-invariant.
+            let items: Vec<(usize, Mutex<Option<NearestState>>)> = states
+                .drain(..)
+                .enumerate()
+                .map(|(i, s)| (i, Mutex::new(Some(s))))
+                .collect();
+            let pairs = parallel_map(items, self.config.threads, |(i, cell)| {
+                let mut state = cell
+                    .lock()
+                    .expect("shard state lock")
+                    .take()
+                    .expect("shard state taken once");
+                let out = self.answer_shard(&view, *i, &mode, &mut state);
+                (out, state)
             });
+            let mut outs = Vec::with_capacity(pairs.len());
+            for (out, state) in pairs {
+                outs.push(out);
+                states.push(state);
+            }
 
             let mut row = SnapshotStats {
                 time_s: t,
@@ -208,21 +300,37 @@ impl ServeEngine {
             leo_obs::counter!("serve.snapshots").incr();
             report.total_queries += current.len() as u64;
 
-            if self.config.validate_frontier && self.users.num_shards() > 0 {
+            let every = self.config.validate_every;
+            if every > 0 && step % every == 0 && self.users.num_shards() > 0 {
                 let k = step % self.users.num_shards();
                 self.validate_shard_frontier(&view, &delta, k, &outs[k]);
             }
             prev = current;
+            prev_view = Some(view);
             report.snapshots.push(row);
         }
         report
     }
 
-    /// Answers one shard against a view, timing the batch.
-    fn answer_shard(&self, view: &SnapshotView, i: usize) -> ShardOut {
+    /// Answers one shard against a view via its settled frontier,
+    /// timing the batch.
+    fn answer_shard(
+        &self,
+        view: &SnapshotView,
+        i: usize,
+        mode: &SettleMode,
+        state: &mut NearestState,
+    ) -> ShardOut {
         let users = self.users.shard(i);
+        let set = &self.sets[i];
         let start = Instant::now();
-        let assignments = self.service.nearest_servers_view(view, users);
+        let mut assignments = Vec::new();
+        match mode {
+            SettleMode::Cold => view.settle_nearest_servers(set, state, &mut assignments),
+            SettleMode::Warm(moved) => {
+                view.refresh_nearest_servers(set, moved, state, &mut assignments)
+            }
+        }
         let elapsed = start.elapsed().as_secs_f64();
         if !users.is_empty() {
             // Per-query latency, batch-averaged: one sample per shard
@@ -243,10 +351,19 @@ impl ServeEngine {
         }
     }
 
-    /// Re-derives shard `k`'s answers through the batched multi-source
-    /// frontier over the delta-refreshed weights: seed every satellite,
-    /// settle once, and the per-ground delays must equal each user's
-    /// nearest-server delay bit-for-bit (`INFINITY` where unserved).
+    /// Re-derives shard `k`'s answers two independent ways and asserts
+    /// both bit-identical to the settled frontier's:
+    ///
+    /// 1. the demoted per-user visibility scans
+    ///    ([`InOrbitService::nearest_servers_view`]) — the legacy
+    ///    primary path, now validation-only;
+    /// 2. the batched multi-source **arg-min** frontier over the
+    ///    delta-refreshed weights: seed every satellite, settle once,
+    ///    and each user's delay *and winner* must match. (ISL weights
+    ///    are strictly positive, so every satellite keeps its own label
+    ///    and a ground cell's winner is exactly its nearest-by-delay
+    ///    satellite, ties to the lowest id — range ties and delay ties
+    ///    coincide because delay is range scaled by a constant.)
     fn validate_shard_frontier(
         &self,
         view: &SnapshotView,
@@ -259,21 +376,96 @@ impl ServeEngine {
         if users.is_empty() {
             return;
         }
+        let legacy = self.service.nearest_servers_view(view, users);
+        assert_eq!(
+            legacy.len(),
+            out.assignments.len(),
+            "settled frontier answered a different user count (shard {k})"
+        );
+        for (j, (a, b)) in legacy.iter().zip(&out.assignments).enumerate() {
+            assert!(
+                a == b,
+                "settled frontier disagrees with per-user scan \
+                 (shard {k}, user {j}: scan {a:?}, frontier {b:?})"
+            );
+        }
         let engine = self.service.routing_engine();
         let links = view.attach(users);
         let sources: Vec<SatId> = (0..engine.num_sats() as u32).map(SatId).collect();
-        let mut frontier = Vec::new();
+        let mut delays = Vec::new();
+        let mut winners = Vec::new();
         with_thread_arena(|arena| {
-            engine.multi_source_ground_delays_into(delta, &links, &sources, &mut frontier, arena);
+            engine.multi_source_ground_frontier_into(
+                delta,
+                &links,
+                &sources,
+                &mut delays,
+                &mut winners,
+                arena,
+            );
         });
-        for (j, (a, &f)) in out.assignments.iter().zip(&frontier).enumerate() {
+        for (j, (a, (&f, w))) in out
+            .assignments
+            .iter()
+            .zip(delays.iter().zip(&winners))
+            .enumerate()
+        {
             let direct = a.map_or(f64::INFINITY, |v| v.delay_s());
             assert!(
                 f.to_bits() == direct.to_bits(),
                 "multi-source frontier disagrees with nearest assignment \
                  (shard {k}, user {j}: frontier {f}, direct {direct})"
             );
+            assert!(
+                *w == a.map(|v| v.id),
+                "multi-source frontier winner disagrees with nearest assignment \
+                 (shard {k}, user {j}: frontier {w:?}, direct {:?})",
+                a.map(|v| v.id)
+            );
         }
+    }
+}
+
+/// Decides how this snapshot's settled pass may reuse the previous
+/// snapshot's labels. Conservative by construction: anything but
+/// "same fault plan, same satellite count, few satellites moved
+/// (bitwise)" falls back to a cold settle.
+fn settle_mode(prev: Option<&SnapshotView>, view: &SnapshotView) -> SettleMode {
+    let Some(pv) = prev else {
+        leo_obs::counter!("serve.frontier_cold_settles").incr();
+        return SettleMode::Cold;
+    };
+    if effective_plan(pv.fault_plan()) != effective_plan(view.fault_plan()) {
+        leo_obs::counter!("serve.frontier_cold_settles").incr();
+        return SettleMode::Cold;
+    }
+    let a = pv.snapshot();
+    let b = view.snapshot();
+    if a.len() != b.len() {
+        leo_obs::counter!("serve.frontier_cold_settles").incr();
+        return SettleMode::Cold;
+    }
+    let mut moved = vec![false; b.len()];
+    let mut count = 0usize;
+    for i in 0..b.len() {
+        let (p, q) = (a.positions[i].0, b.positions[i].0);
+        if p.x.to_bits() != q.x.to_bits()
+            || p.y.to_bits() != q.y.to_bits()
+            || p.z.to_bits() != q.z.to_bits()
+        {
+            moved[i] = true;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        leo_obs::counter!("serve.frontier_reuse").incr();
+        SettleMode::Warm(moved)
+    } else if (count as f64) <= WARM_MOVED_MAX_FRAC * b.len() as f64 {
+        leo_obs::counter!("serve.frontier_warm_refreshes").incr();
+        SettleMode::Warm(moved)
+    } else {
+        leo_obs::counter!("serve.frontier_cold_settles").incr();
+        SettleMode::Cold
     }
 }
 
@@ -309,7 +501,7 @@ mod tests {
             band_deg: 6.0,
             max_shard: 512,
             threads,
-            validate_frontier: true,
+            validate_every: 1,
         }
     }
 
@@ -335,6 +527,29 @@ mod tests {
         assert_eq!(one, many);
         assert_eq!(one.total_queries, 6000);
         assert_eq!(one.delta_full_rebuilds, 1, "only the cold start rebuilds");
+    }
+
+    #[test]
+    fn validation_cadence_never_changes_the_bytes() {
+        // Validation is observation-only: any cadence — including off —
+        // reports identical bytes. (This is also what licenses sampling
+        // it down in full bench runs.)
+        let times: Vec<f64> = (0..4).map(|i| i as f64 * 60.0).collect();
+        let reports: Vec<SweepReport> = [0usize, 1, 3]
+            .iter()
+            .map(|&every| {
+                let mut cfg = quick_config(4);
+                cfg.validate_every = every;
+                ServeEngine::new(
+                    InOrbitService::new(presets::starlink_550_only()),
+                    population(1500),
+                    cfg,
+                )
+                .sweep(&times)
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
     }
 
     #[test]
@@ -384,6 +599,21 @@ mod tests {
     }
 
     #[test]
+    fn empty_population_sweeps_cleanly() {
+        let report = ServeEngine::new(
+            InOrbitService::new(presets::starlink_550_only()),
+            population(0),
+            quick_config(2),
+        )
+        .sweep(&[0.0, 60.0]);
+        assert_eq!(report.total_queries, 0);
+        for row in &report.snapshots {
+            assert_eq!(row.served, 0);
+            assert_eq!(row.unserved, 0);
+        }
+    }
+
+    #[test]
     fn handoffs_are_zero_on_a_static_schedule() {
         let engine = ServeEngine::new(
             InOrbitService::new(presets::starlink_550_only()),
@@ -401,9 +631,10 @@ mod tests {
             report.snapshots[0].assignment_checksum,
             report.snapshots[1].assignment_checksum
         );
-        // The repeated instant is where the delta refresh pays off: the
-        // cold start rebuilds every edge, the second snapshot recomputes
-        // none of them.
+        // The repeated instant is where both incremental paths pay off:
+        // the cold start rebuilds every edge and settles every shard,
+        // the second snapshot recomputes no edges and reuses every
+        // shard's settled frontier labels outright.
         assert_eq!(report.delta_full_rebuilds, 1);
         assert_eq!(report.delta_recomputed, n_edges);
         assert_eq!(report.delta_skipped, n_edges);
