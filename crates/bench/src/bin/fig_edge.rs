@@ -154,6 +154,14 @@ fn main() {
     if let Some(rate) = manifest.rate_per_sec("edge.ticks", "sweep") {
         println!("# throughput: {rate:.1} ticks/sec over the sweep phase");
     }
+    if !manifest.series().is_empty() {
+        println!(
+            "# timeseries: {} series in the manifest ({} work, {} timing)",
+            manifest.series().len(),
+            manifest.series().iter().filter(|s| !s.timing).count(),
+            manifest.series().iter().filter(|s| s.timing).count(),
+        );
+    }
 }
 
 /// The edge result file: thread-count-invariant rows only; wall times

@@ -1,23 +1,35 @@
 //! Pretty-prints one run manifest, diffs two, or gates a diff on
-//! throughput.
+//! throughput and quantile drift.
 //!
 //! ```text
 //! cargo run -p leo-bench --bin perf_report -- results/fig1.meta.json
 //! cargo run -p leo-bench --bin perf_report -- baseline.meta.json candidate.meta.json
 //! cargo run -p leo-bench --bin perf_report -- --diff baseline.meta.json candidate.meta.json \
 //!     --min-qps-ratio 0.8 --qps-counter serve.queries --qps-phase sweep
+//! cargo run -p leo-bench --bin perf_report -- --diff baseline.meta.json candidate.meta.json \
+//!     --p99-tol 3.0 --quantile-metric serve.query_latency_s --md-report watchdog.md
 //! ```
 //!
-//! With one manifest: configuration, phase wall-clocks, counters, and
-//! histogram summaries. With two: per-phase speedup (baseline over
-//! candidate) and counter deltas — the quick answer to "did my change
-//! make the sweep faster, and did it change how much work was done?".
-//! With `--min-qps-ratio R`, the diff additionally computes each side's
-//! throughput (the `--qps-counter` count over the `--qps-phase` wall
-//! clock) and exits nonzero when candidate/baseline falls below `R` —
-//! the CI perf regression gate.
+//! With one manifest: configuration, phase wall-clocks, counters,
+//! histogram summaries, and time series. With two: per-phase speedup
+//! (baseline over candidate) and counter deltas — the quick answer to
+//! "did my change make the sweep faster, and did it change how much work
+//! was done?". With `--min-qps-ratio R`, the diff additionally computes
+//! each side's throughput (the `--qps-counter` count over the
+//! `--qps-phase` wall clock) and exits nonzero when candidate/baseline
+//! falls below `R` — the CI perf regression gate.
+//!
+//! Any of `--p50-tol`/`--p99-tol`/`--ts-tol`/`--quantile-metric`/
+//! `--md-report` additionally arms the quantile watchdog
+//! (`leo_bench::watchdog`): histogram p50/p99 may grow by at most their
+//! tolerance factor, work time-series max/mean must stay within the
+//! two-sided `--ts-tol` envelope, and violations exit nonzero.
+//! `--quantile-metric NAME` (repeatable) restricts the quantile checks
+//! to the named histograms; `--md-report PATH` writes the findings as a
+//! markdown table (CI job summaries).
 
 use leo_bench::cli::RunManifest;
+use leo_bench::watchdog::{self, WatchdogConfig};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -38,10 +50,20 @@ impl Default for QpsGate {
     }
 }
 
+/// Watchdog settings: `config` is applied only when `armed` (any
+/// watchdog flag was given).
+#[derive(Default)]
+struct Watchdog {
+    armed: bool,
+    config: WatchdogConfig,
+    md_report: Option<String>,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
     let mut gate = QpsGate::default();
+    let mut dog = Watchdog::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -57,6 +79,32 @@ fn main() -> ExitCode {
             "--qps-phase" => match it.next() {
                 Some(v) => gate.phase = v.clone(),
                 None => return fail("--qps-phase needs a phase name"),
+            },
+            "--p50-tol" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(t)) if t >= 1.0 => (dog.armed, dog.config.p50_tol) = (true, t),
+                _ => return fail("--p50-tol needs a number >= 1"),
+            },
+            "--p99-tol" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(t)) if t >= 1.0 => (dog.armed, dog.config.p99_tol) = (true, t),
+                _ => return fail("--p99-tol needs a number >= 1"),
+            },
+            "--ts-tol" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(t)) if t >= 1.0 => (dog.armed, dog.config.ts_tol) = (true, t),
+                _ => return fail("--ts-tol needs a number >= 1"),
+            },
+            "--quantile-metric" => match it.next() {
+                Some(v) => {
+                    dog.armed = true;
+                    dog.config.metrics.push(v.clone());
+                }
+                None => return fail("--quantile-metric needs a histogram name"),
+            },
+            "--md-report" => match it.next() {
+                Some(v) => {
+                    dog.armed = true;
+                    dog.md_report = Some(v.clone());
+                }
+                None => return fail("--md-report needs a file path"),
             },
             flag if flag.starts_with("--") => {
                 eprintln!("perf_report: unknown flag {flag}");
@@ -80,15 +128,68 @@ fn main() -> ExitCode {
             ) {
                 (Ok(b), Ok(c)) => {
                     print_diff(&b, &c);
-                    check_qps_gate(&b, &c, &gate)
+                    let qps = check_qps_gate(&b, &c, &gate);
+                    let watch = check_watchdog(&b, &c, &dog, base, cand);
+                    if qps != ExitCode::SUCCESS {
+                        qps
+                    } else {
+                        watch
+                    }
                 }
                 (Err(e), _) | (_, Err(e)) => fail(&e),
             }
         }
         _ => fail(
             "usage: perf_report <manifest.meta.json> [candidate.meta.json] \
-             [--min-qps-ratio R] [--qps-counter NAME] [--qps-phase NAME]",
+             [--min-qps-ratio R] [--qps-counter NAME] [--qps-phase NAME] \
+             [--p50-tol T] [--p99-tol T] [--ts-tol T] [--quantile-metric NAME]... \
+             [--md-report PATH]",
         ),
+    }
+}
+
+/// Runs the quantile watchdog when any of its flags armed it: prints the
+/// verdict, writes the optional markdown report, exits nonzero on
+/// violations.
+fn check_watchdog(
+    base: &RunManifest,
+    cand: &RunManifest,
+    dog: &Watchdog,
+    base_path: &str,
+    cand_path: &str,
+) -> ExitCode {
+    if !dog.armed {
+        return ExitCode::SUCCESS;
+    }
+    let report = watchdog::compare(base, cand, &dog.config);
+    println!(
+        "\nquantile watchdog: {} histogram(s) checked (p50 tol {:.2}, p99 tol {:.2}), \
+         {} work series checked (envelope tol {:.2})",
+        report.histograms_checked,
+        dog.config.p50_tol,
+        dog.config.p99_tol,
+        report.series_checked,
+        dog.config.ts_tol,
+    );
+    if let Some(path) = &dog.md_report {
+        let md = report.markdown(base_path, cand_path);
+        match std::fs::write(path, md) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        }
+    }
+    if report.is_clean() {
+        println!("quantile watchdog passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &report.findings {
+            eprintln!(
+                "perf_report: {} {} regressed — baseline {:.6}, candidate {:.6}, \
+                 ratio {:.3} breaks tolerance {:.3}",
+                f.metric, f.stat, f.baseline, f.candidate, f.ratio, f.tolerance
+            );
+        }
+        ExitCode::FAILURE
     }
 }
 
@@ -202,6 +303,23 @@ fn print_single(m: &RunManifest) {
                 secs(h.p50),
                 secs(h.p99),
                 secs(h.max),
+            );
+        }
+    }
+    if !m.series().is_empty() {
+        println!("\ntime series:");
+        println!(
+            "  {:<28} {:>8} {:>12} {:>12} {:>7}",
+            "name", "points", "mean", "max", "kind"
+        );
+        for s in m.series() {
+            println!(
+                "  {:<28} {:>8} {:>12.3} {:>12.3} {:>7}",
+                s.name,
+                s.points.len(),
+                s.mean_value().unwrap_or(0.0),
+                s.max_value().unwrap_or(0.0),
+                if s.timing { "timing" } else { "work" },
             );
         }
     }

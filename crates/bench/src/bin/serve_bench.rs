@@ -200,6 +200,14 @@ fn main() {
     if let Some(qps) = manifest.rate_per_sec("serve.queries", "sweep") {
         println!("# throughput: {qps:.0} queries/sec over the sweep phase");
     }
+    if !manifest.series().is_empty() {
+        println!(
+            "# timeseries: {} series in the manifest ({} work, {} timing)",
+            manifest.series().len(),
+            manifest.series().iter().filter(|s| !s.timing).count(),
+            manifest.series().iter().filter(|s| s.timing).count(),
+        );
+    }
 }
 
 /// The serve result file: thread-count-invariant rows only (stats and

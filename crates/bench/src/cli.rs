@@ -49,6 +49,7 @@ impl RunConfig {
             std::env::var("LEO_QUICK").ok().as_deref(),
             std::env::var("LEO_THREADS").ok().as_deref(),
             std::env::var("LEO_OUT_DIR").ok().as_deref(),
+            std::env::var("LEO_OBS").ok().as_deref(),
         );
         for w in &config.warnings {
             eprintln!("warning: {w}");
@@ -64,6 +65,7 @@ impl RunConfig {
         quick_env: Option<&str>,
         threads_env: Option<&str>,
         out_env: Option<&str>,
+        obs_env: Option<&str>,
     ) -> RunConfig {
         let mut warnings = Vec::new();
         let quick = args.iter().any(|a| a == "--quick") || crate::quick_mode_from(quick_env);
@@ -82,6 +84,18 @@ impl RunConfig {
             if v.trim().parse::<usize>().ok().is_none_or(|n| n == 0) {
                 warnings.push(format!(
                     "LEO_THREADS={v:?} is not a positive integer; using {threads} worker threads"
+                ));
+            }
+        }
+        if let Some(v) = obs_env {
+            // `leo_obs::level()` reads the same variable itself; this
+            // only surfaces the typo in the manifest paper trail, it
+            // never sets the level.
+            let (fallback, recognized) = leo_obs::level_from_checked(Some(v));
+            if !recognized {
+                warnings.push(format!(
+                    "LEO_OBS={v:?} is not one of 0/off, 1/metrics, 2/full, 3/trace; \
+                     observability is {fallback:?}"
                 ));
             }
         }
@@ -164,14 +178,17 @@ impl Run {
     }
 
     /// Runs `f`, recording its wall-clock time as phase `label` in the
-    /// manifest. Phases appear in execution order.
+    /// manifest. Phases appear in execution order. At `LEO_OBS=trace`
+    /// the phase is also an interval in the exported trace.
     pub fn phase<R>(&mut self, label: &str, f: impl FnOnce() -> R) -> R {
+        let trace = leo_obs::trace_scope(label.to_string(), "phase");
         let t0 = Instant::now();
         let result = f();
         self.phases.push(PhaseRecord {
             name: label.to_string(),
             wall_s: t0.elapsed().as_secs_f64(),
         });
+        drop(trace);
         result
     }
 
@@ -185,7 +202,10 @@ impl Run {
 
     /// Builds the manifest (configuration, phase wall-clocks, and a dump
     /// of every `leo-obs` metric), writes it to
-    /// `<out_dir>/<name>.meta.json`, and returns it.
+    /// `<out_dir>/<name>.meta.json`, and returns it. At `LEO_OBS=trace`
+    /// the buffered trace events are additionally drained into
+    /// `<out_dir>/<name>.trace.json` (Chrome trace-event JSON — open in
+    /// Perfetto or chrome://tracing).
     pub fn finish(self) -> RunManifest {
         let manifest = self.manifest();
         crate::write_json(
@@ -193,6 +213,26 @@ impl Run {
             &format!("{}.meta.json", manifest.name),
             &manifest,
         );
+        if leo_obs::trace_enabled() {
+            let dump = leo_obs::take_trace();
+            let path = self
+                .config
+                .out_dir
+                .join(format!("{}.trace.json", manifest.name));
+            match std::fs::write(&path, leo_obs::chrome_trace_json(&dump)) {
+                Ok(()) => eprintln!(
+                    "wrote {} ({} events{})",
+                    path.display(),
+                    dump.events.len(),
+                    if dump.dropped > 0 {
+                        format!(", {} dropped", dump.dropped)
+                    } else {
+                        String::new()
+                    }
+                ),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
+        }
         manifest
     }
 
@@ -218,6 +258,13 @@ impl Run {
                 .filter(|d| d.count > 0)
                 .map(HistogramRecord::from_dump)
                 .collect(),
+            timeseries: Some(
+                obs.series
+                    .iter()
+                    .filter(|d| !d.points.is_empty())
+                    .map(TimeSeriesRecord::from_dump)
+                    .collect(),
+            ),
         }
     }
 }
@@ -227,6 +274,7 @@ fn level_name(l: leo_obs::Level) -> &'static str {
         leo_obs::Level::Off => "off",
         leo_obs::Level::Metrics => "metrics",
         leo_obs::Level::Full => "full",
+        leo_obs::Level::Trace => "trace",
     }
 }
 
@@ -281,6 +329,44 @@ impl HistogramRecord {
     }
 }
 
+/// One time series' sampled points at the end of a run (one gauge over
+/// the run's own x-axis — orbital seconds for the sweeps).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeriesRecord {
+    /// Registered series name.
+    pub name: String,
+    /// True for wall-clock series: gated like spans, *not* deterministic
+    /// across thread counts, excluded from determinism checks and the
+    /// watchdog's envelope comparison.
+    pub timing: bool,
+    /// `[x, value]` points in sample order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimeSeriesRecord {
+    fn from_dump(d: &leo_obs::TimeSeriesDump) -> TimeSeriesRecord {
+        TimeSeriesRecord {
+            name: d.name.clone(),
+            timing: d.timing,
+            points: d.points.clone(),
+        }
+    }
+
+    /// Largest sampled value, `None` when empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Arithmetic mean of the sampled values, `None` when empty.
+    pub fn mean_value(&self) -> Option<f64> {
+        (!self.points.is_empty())
+            .then(|| self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+    }
+}
+
 /// The per-run manifest written as `<name>.meta.json` — everything about
 /// *how* a run went, kept apart from *what* it computed so result files
 /// stay byte-identical across observability levels and machines.
@@ -305,6 +391,11 @@ pub struct RunManifest {
     pub counters: Vec<CounterRecord>,
     /// Every non-empty histogram, sorted by name.
     pub histograms: Vec<HistogramRecord>,
+    /// Every non-empty time series, sorted by name. `Option` so
+    /// manifests written before the field existed still load (a missing
+    /// key reads as `None`); use [`RunManifest::series`] to iterate
+    /// either way.
+    pub timeseries: Option<Vec<TimeSeriesRecord>>,
 }
 
 impl RunManifest {
@@ -331,6 +422,16 @@ impl RunManifest {
             .map(|p| p.wall_s)
     }
 
+    /// The recorded time series (empty for pre-timeseries manifests).
+    pub fn series(&self) -> &[TimeSeriesRecord] {
+        self.timeseries.as_deref().unwrap_or(&[])
+    }
+
+    /// The named time series, if recorded.
+    pub fn series_named(&self, name: &str) -> Option<&TimeSeriesRecord> {
+        self.series().iter().find(|s| s.name == name)
+    }
+
     /// Throughput of `counter` over phase `phase`: counter value divided
     /// by the phase's wall-clock. `None` when either is missing or the
     /// phase took no measurable time — the serve perf gate compares
@@ -349,7 +450,7 @@ mod tests {
 
     fn cfg(args: &[&str], quick: Option<&str>, out: Option<&str>) -> RunConfig {
         let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
-        RunConfig::from_parts(&args, quick, Some("3"), out)
+        RunConfig::from_parts(&args, quick, Some("3"), out, None)
     }
 
     #[test]
@@ -384,7 +485,7 @@ mod tests {
     fn garbage_threads_env_warns_and_falls_back() {
         for bad in ["eight", "0", "-2", "3.5", ""] {
             let args: Vec<String> = Vec::new();
-            let c = RunConfig::from_parts(&args, None, Some(bad), None);
+            let c = RunConfig::from_parts(&args, None, Some(bad), None, None);
             assert_eq!(c.threads, leo_sim::threads_from(None), "value {bad:?}");
             assert_eq!(c.warnings.len(), 1, "value {bad:?}");
             assert!(
@@ -394,28 +495,49 @@ mod tests {
             );
         }
         // Whitespace-padded integers parse; no warning.
-        let c = RunConfig::from_parts(&[], None, Some(" 5 "), None);
+        let c = RunConfig::from_parts(&[], None, Some(" 5 "), None, None);
         assert_eq!((c.threads, c.warnings.len()), (5, 0));
     }
 
     #[test]
     fn odd_quick_env_warns_but_still_enables_quick_mode() {
         for (v, expect_quick) in [("yes", true), ("o", true), ("TRUE", true)] {
-            let c = RunConfig::from_parts(&[], Some(v), Some("3"), None);
+            let c = RunConfig::from_parts(&[], Some(v), Some("3"), None, None);
             assert_eq!(c.quick, expect_quick, "value {v:?}");
             assert_eq!(c.warnings.len(), 1, "value {v:?}");
             assert!(c.warnings[0].contains("LEO_QUICK"));
         }
         for v in ["", "0", "1"] {
-            let c = RunConfig::from_parts(&[], Some(v), Some("3"), None);
+            let c = RunConfig::from_parts(&[], Some(v), Some("3"), None, None);
             assert!(c.warnings.is_empty(), "documented value {v:?} warned");
         }
     }
 
     #[test]
+    fn malformed_obs_env_warns_and_lands_in_the_manifest() {
+        // Documented spellings are quiet.
+        for ok in ["", "0", "off", "1", "metrics", "2", "full", "3", "trace"] {
+            let c = RunConfig::from_parts(&[], None, Some("3"), None, Some(ok));
+            assert!(c.warnings.is_empty(), "documented value {ok:?} warned");
+        }
+        // A typo is surfaced — and rides into the manifest like a bad
+        // LEO_THREADS does.
+        let config = RunConfig::from_parts(&[], None, Some("3"), None, Some("ful"));
+        assert_eq!(config.warnings.len(), 1);
+        assert!(
+            config.warnings[0].contains("LEO_OBS") && config.warnings[0].contains("trace"),
+            "warning text: {}",
+            config.warnings[0]
+        );
+        let m = Run::with_config("t", config).manifest();
+        assert_eq!(m.config_warnings.len(), 1);
+        assert!(serde_json::to_string(&m).unwrap().contains("LEO_OBS"));
+    }
+
+    #[test]
     fn warnings_land_in_the_manifest() {
         let args: Vec<String> = Vec::new();
-        let config = RunConfig::from_parts(&args, Some("maybe"), Some("many"), None);
+        let config = RunConfig::from_parts(&args, Some("maybe"), Some("many"), None, None);
         assert_eq!(config.warnings.len(), 2);
         let run = Run::with_config("t", config.clone());
         let m = run.manifest();
@@ -442,7 +564,7 @@ mod tests {
         // LEO_THREADS, knobs layered on, manifest named "serve" — the
         // warning must ride all the way into serve.meta.json.
         let args: Vec<String> = Vec::new();
-        let mut config = RunConfig::from_parts(&args, None, Some("eight"), None);
+        let mut config = RunConfig::from_parts(&args, None, Some("eight"), None, None);
         config.usize_knob("LEO_SERVE_USERS", Some("oops"), 100);
         let m = Run::with_config("serve", config).manifest();
         assert_eq!(m.name, "serve");
@@ -501,6 +623,11 @@ mod tests {
                 p99: 0.7,
                 max: 0.8,
             }],
+            timeseries: Some(vec![TimeSeriesRecord {
+                name: "serve.handoffs".into(),
+                timing: false,
+                points: vec![(0.0, 0.0), (60.0, 17.0), (120.0, 9.0)],
+            }]),
         };
         let text = serde_json::to_string_pretty(&m).unwrap();
         let back: RunManifest = serde_json::from_str(&text).unwrap();
@@ -514,6 +641,34 @@ mod tests {
         );
         assert_eq!(back.rate_per_sec("missing", "sweep"), None);
         assert_eq!(back.rate_per_sec("engine.dijkstra.pops", "missing"), None);
+        let s = back.series_named("serve.handoffs").expect("series kept");
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.max_value(), Some(17.0));
+        assert!((s.mean_value().unwrap() - 26.0 / 3.0).abs() < 1e-12);
+        assert_eq!(back.series_named("missing"), None);
+    }
+
+    /// Manifests written before the `timeseries` field existed (the
+    /// committed baselines the CI perf gate diffs against) must still
+    /// load: the missing key reads as `None` and `series()` is empty.
+    #[test]
+    fn pre_timeseries_manifests_still_load() {
+        let text = r#"{
+            "name": "old",
+            "quick": false,
+            "threads": 1,
+            "config_warnings": [],
+            "obs_level": "metrics",
+            "total_s": 1.0,
+            "phases": [{"name": "sweep", "wall_s": 0.5}],
+            "counters": [{"name": "serve.queries", "value": 10}],
+            "histograms": []
+        }"#;
+        let back: RunManifest = serde_json::from_str(text).unwrap();
+        assert_eq!(back.timeseries, None);
+        assert!(back.series().is_empty());
+        assert_eq!(back.name, "old");
+        assert_eq!(back.rate_per_sec("serve.queries", "sweep"), Some(20.0));
     }
 
     /// A phase can legitimately record zero wall time (sub-resolution
@@ -543,6 +698,7 @@ mod tests {
                 value: 42,
             }],
             histograms: vec![],
+            timeseries: None,
         };
         assert_eq!(m.rate_per_sec("edge.ticks", "instant"), None);
         assert_eq!(m.rate_per_sec("edge.ticks", "negative"), None);

@@ -15,6 +15,7 @@ use serde::Serialize;
 use std::path::Path;
 
 pub mod cli;
+pub mod watchdog;
 
 /// Writes an experiment's data as pretty JSON under `results/<name>.json`
 /// (creating the directory), and reports where it went on stderr.

@@ -1,0 +1,366 @@
+//! Quantile-aware regression watchdog: diffs two run manifests on
+//! histogram quantiles (p50/p99) and time-series envelopes, with
+//! configurable tolerances.
+//!
+//! The CI throughput gate (`perf_report --min-qps-ratio`) watches one
+//! number; latency *distributions* can drift a long way underneath it
+//! (a fatter tail at the same mean, a bimodal split). The watchdog
+//! closes that gap:
+//!
+//! * **histograms** — candidate p50 and p99 may each grow by at most a
+//!   configured factor over baseline (one-sided: these are latencies and
+//!   work sizes, getting smaller is fine);
+//! * **time series** — the max and mean of each *work* series (the
+//!   deterministic per-snapshot gauges) must stay within a two-sided
+//!   factor of baseline: work drift in either direction means the run
+//!   did different work, which a perf change should not silently do.
+//!   Timing series (wall-clock samples) are skipped — they vary by
+//!   machine.
+//!
+//! [`compare`] produces a [`WatchdogReport`]; [`WatchdogReport::markdown`]
+//! renders it as a report suitable for a CI job summary. The
+//! `perf_report` binary wires this behind `--p50-tol`/`--p99-tol`/
+//! `--ts-tol`/`--quantile-metric`/`--md-report`.
+
+use crate::cli::RunManifest;
+
+/// Tolerances for [`compare`]. Each is a ratio floor/ceiling relative to
+/// baseline; `f64::INFINITY` disables that check.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// Candidate p50 may be at most `p50_tol` × baseline p50.
+    pub p50_tol: f64,
+    /// Candidate p99 may be at most `p99_tol` × baseline p99.
+    pub p99_tol: f64,
+    /// Work time-series max/mean must stay within
+    /// `[1/ts_tol, ts_tol]` × baseline.
+    pub ts_tol: f64,
+    /// When non-empty, only histograms and time series named here are
+    /// checked. CI uses this to restrict a mixed-scale diff (full-run
+    /// committed baseline vs quick-mode candidate) to the
+    /// scale-invariant per-query latency histogram; same-scale diffs
+    /// should leave it empty so every work envelope is judged.
+    pub metrics: Vec<String>,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            // Log-bucketed quantiles are accurate to one bucket (≲ 19 %),
+            // so anything under ~1.2 would flake on bucket boundaries;
+            // the defaults leave room for machine noise on top.
+            p50_tol: 2.0,
+            p99_tol: 2.0,
+            ts_tol: 1.5,
+            metrics: Vec::new(),
+        }
+    }
+}
+
+/// One watchdog violation: `metric`'s `stat` moved from `baseline` to
+/// `candidate`, a ratio of `ratio` against a tolerance of `tolerance`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Histogram or time-series name.
+    pub metric: String,
+    /// Which statistic regressed: `p50`, `p99`, `ts.max`, or `ts.mean`.
+    pub stat: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// `candidate / baseline` (`INFINITY` when baseline is zero).
+    pub ratio: f64,
+    /// The tolerance the ratio violated.
+    pub tolerance: f64,
+}
+
+/// The outcome of one [`compare`]: violations plus how much was checked
+/// (so an empty findings list from an empty comparison is visibly
+/// vacuous, not silently green).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WatchdogReport {
+    /// Tolerance violations, in manifest order.
+    pub findings: Vec<Finding>,
+    /// Histograms present in both manifests and quantile-checked.
+    pub histograms_checked: usize,
+    /// Work time series present in both manifests and envelope-checked.
+    pub series_checked: usize,
+}
+
+impl WatchdogReport {
+    /// True when nothing violated its tolerance.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report as markdown (a table of violations, or a green
+    /// one-liner), for CI job summaries.
+    pub fn markdown(&self, baseline: &str, candidate: &str) -> String {
+        let mut out = String::new();
+        out.push_str("## Quantile watchdog\n\n");
+        out.push_str(&format!(
+            "Compared `{candidate}` against `{baseline}`: {} histogram(s) on p50/p99, \
+             {} work time series on max/mean.\n\n",
+            self.histograms_checked, self.series_checked
+        ));
+        if self.is_clean() {
+            out.push_str("No regressions: every quantile and envelope within tolerance.\n");
+            return out;
+        }
+        out.push_str(&format!("**{} violation(s):**\n\n", self.findings.len()));
+        out.push_str("| metric | stat | baseline | candidate | ratio | tolerance |\n");
+        out.push_str("|---|---|---:|---:|---:|---:|\n");
+        for f in &self.findings {
+            out.push_str(&format!(
+                "| `{}` | {} | {:.6} | {:.6} | {:.3} | {:.3} |\n",
+                f.metric, f.stat, f.baseline, f.candidate, f.ratio, f.tolerance
+            ));
+        }
+        out
+    }
+}
+
+/// `candidate / baseline` with the zero-baseline convention: both zero is
+/// a clean 1.0, baseline-only-zero is `INFINITY` (flagged by any finite
+/// tolerance).
+fn ratio(baseline: f64, candidate: f64) -> f64 {
+    if baseline > 0.0 {
+        candidate / baseline
+    } else if candidate == 0.0 {
+        1.0
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Diffs `cand` against `base` under `cfg`. Metrics present in only one
+/// manifest are skipped — the watchdog judges drift, not coverage (the
+/// counter diff in `perf_report` already shows appearing/disappearing
+/// metrics).
+pub fn compare(base: &RunManifest, cand: &RunManifest, cfg: &WatchdogConfig) -> WatchdogReport {
+    let mut report = WatchdogReport::default();
+    for b in &base.histograms {
+        if !cfg.metrics.is_empty() && !cfg.metrics.contains(&b.name) {
+            continue;
+        }
+        let Some(c) = cand.histograms.iter().find(|c| c.name == b.name) else {
+            continue;
+        };
+        report.histograms_checked += 1;
+        for (stat, bv, cv, tol) in [
+            ("p50", b.p50, c.p50, cfg.p50_tol),
+            ("p99", b.p99, c.p99, cfg.p99_tol),
+        ] {
+            let r = ratio(bv, cv);
+            if r > tol {
+                report.findings.push(Finding {
+                    metric: b.name.clone(),
+                    stat,
+                    baseline: bv,
+                    candidate: cv,
+                    ratio: r,
+                    tolerance: tol,
+                });
+            }
+        }
+    }
+    for b in base.series() {
+        if b.timing || (!cfg.metrics.is_empty() && !cfg.metrics.contains(&b.name)) {
+            continue;
+        }
+        let Some(c) = cand.series_named(&b.name) else {
+            continue;
+        };
+        if c.timing {
+            continue;
+        }
+        report.series_checked += 1;
+        for (stat, bv, cv) in [
+            ("ts.max", b.max_value(), c.max_value()),
+            ("ts.mean", b.mean_value(), c.mean_value()),
+        ] {
+            let (Some(bv), Some(cv)) = (bv, cv) else {
+                continue;
+            };
+            let r = ratio(bv, cv);
+            if r > cfg.ts_tol || r < 1.0 / cfg.ts_tol {
+                report.findings.push(Finding {
+                    metric: b.name.clone(),
+                    stat,
+                    baseline: bv,
+                    candidate: cv,
+                    ratio: r,
+                    tolerance: cfg.ts_tol,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cli::{HistogramRecord, TimeSeriesRecord};
+
+    fn manifest(
+        histograms: Vec<HistogramRecord>,
+        timeseries: Vec<TimeSeriesRecord>,
+    ) -> RunManifest {
+        RunManifest {
+            name: "t".into(),
+            quick: false,
+            threads: 1,
+            config_warnings: vec![],
+            obs_level: "metrics".into(),
+            total_s: 1.0,
+            phases: vec![],
+            counters: vec![],
+            histograms,
+            timeseries: Some(timeseries),
+        }
+    }
+
+    fn hist(name: &str, p50: f64, p99: f64) -> HistogramRecord {
+        HistogramRecord {
+            name: name.into(),
+            count: 100,
+            sum: 100.0 * p50,
+            mean: p50,
+            p50,
+            p99,
+            max: p99 * 2.0,
+        }
+    }
+
+    fn series(name: &str, timing: bool, values: &[f64]) -> TimeSeriesRecord {
+        TimeSeriesRecord {
+            name: name.into(),
+            timing,
+            points: values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64 * 60.0, v))
+                .collect(),
+        }
+    }
+
+    /// The acceptance fixture: a synthetic p99 regression (fat tail at a
+    /// steady median) must be flagged, and the markdown must name it.
+    #[test]
+    fn flags_a_synthetic_p99_regression() {
+        let base = manifest(vec![hist("serve.query_latency_s", 1e-3, 2e-3)], vec![]);
+        let cand = manifest(vec![hist("serve.query_latency_s", 1e-3, 9e-3)], vec![]);
+        let report = compare(&base, &cand, &WatchdogConfig::default());
+        assert_eq!(report.histograms_checked, 1);
+        assert_eq!(report.findings.len(), 1);
+        let f = &report.findings[0];
+        assert_eq!(
+            (f.metric.as_str(), f.stat),
+            ("serve.query_latency_s", "p99")
+        );
+        assert!((f.ratio - 4.5).abs() < 1e-9);
+        assert!(!report.is_clean());
+        let md = report.markdown("base.meta.json", "cand.meta.json");
+        assert!(md.contains("serve.query_latency_s") && md.contains("p99"));
+        assert!(md.contains("1 violation"));
+    }
+
+    #[test]
+    fn within_tolerance_is_clean_and_improvements_never_flag() {
+        let base = manifest(vec![hist("h", 1.0, 2.0)], vec![]);
+        // 1.5x p50 and p99: inside the default 2.0 tolerance.
+        let close = manifest(vec![hist("h", 1.5, 3.0)], vec![]);
+        assert!(compare(&base, &close, &WatchdogConfig::default()).is_clean());
+        // 10x *better* is one-sided fine.
+        let faster = manifest(vec![hist("h", 0.1, 0.2)], vec![]);
+        assert!(compare(&base, &faster, &WatchdogConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn metric_filter_restricts_quantile_and_envelope_checks() {
+        let base = manifest(
+            vec![hist("noisy", 1.0, 1.0), hist("gated", 1.0, 1.0)],
+            vec![series("scaled", false, &[100.0])],
+        );
+        // A mixed-scale diff: the unfiltered work series runs 12x lower.
+        let cand = manifest(
+            vec![hist("noisy", 50.0, 50.0), hist("gated", 1.0, 1.0)],
+            vec![series("scaled", false, &[8.0])],
+        );
+        let cfg = WatchdogConfig {
+            metrics: vec!["gated".into()],
+            ..WatchdogConfig::default()
+        };
+        let report = compare(&base, &cand, &cfg);
+        assert_eq!(report.histograms_checked, 1);
+        assert_eq!(report.series_checked, 0, "series filter must apply too");
+        assert!(report.is_clean(), "filtered-out metric still flagged");
+        // Without the filter the noisy histogram trips both quantile
+        // checks and the scaled series trips both envelope stats.
+        let unfiltered = compare(&base, &cand, &WatchdogConfig::default());
+        assert_eq!(unfiltered.findings.len(), 4);
+    }
+
+    #[test]
+    fn timeseries_envelope_is_two_sided_and_skips_timing_series() {
+        let base = manifest(
+            vec![],
+            vec![
+                series("work", false, &[10.0, 20.0, 30.0]),
+                series("wall", true, &[0.1, 0.2, 0.3]),
+            ],
+        );
+        // Work series halved: outside [1/1.5, 1.5] both directions.
+        let cand = manifest(
+            vec![],
+            vec![
+                series("work", false, &[5.0, 10.0, 15.0]),
+                series("wall", true, &[99.0, 99.0, 99.0]),
+            ],
+        );
+        let report = compare(&base, &cand, &WatchdogConfig::default());
+        assert_eq!(report.series_checked, 1, "timing series must be skipped");
+        assert_eq!(report.findings.len(), 2); // ts.max and ts.mean
+        assert!(report.findings.iter().all(|f| f.metric == "work"));
+        assert!(report.findings.iter().any(|f| f.stat == "ts.max"));
+        assert!(report.findings.iter().any(|f| f.stat == "ts.mean"));
+    }
+
+    #[test]
+    fn zero_baselines_follow_the_ratio_convention() {
+        // Both zero: clean. Baseline zero, candidate not: flagged.
+        let base = manifest(vec![], vec![series("s", false, &[0.0, 0.0])]);
+        let same = manifest(vec![], vec![series("s", false, &[0.0, 0.0])]);
+        assert!(compare(&base, &same, &WatchdogConfig::default()).is_clean());
+        let grew = manifest(vec![], vec![series("s", false, &[0.0, 5.0])]);
+        let report = compare(&base, &grew, &WatchdogConfig::default());
+        assert!(!report.is_clean());
+        assert!(report.findings.iter().all(|f| f.ratio.is_infinite()));
+    }
+
+    #[test]
+    fn disjoint_manifests_are_vacuously_clean_but_visibly_so() {
+        let base = manifest(vec![hist("only.base", 1.0, 1.0)], vec![]);
+        let cand = manifest(vec![hist("only.cand", 1.0, 1.0)], vec![]);
+        let report = compare(&base, &cand, &WatchdogConfig::default());
+        assert!(report.is_clean());
+        assert_eq!((report.histograms_checked, report.series_checked), (0, 0));
+        let md = report.markdown("b", "c");
+        assert!(md.contains("0 histogram(s)"));
+    }
+
+    #[test]
+    fn pre_timeseries_baselines_skip_envelope_checks() {
+        let mut base = manifest(vec![hist("h", 1.0, 1.0)], vec![]);
+        base.timeseries = None; // an old committed baseline
+        let cand = manifest(
+            vec![hist("h", 1.0, 1.0)],
+            vec![series("new", false, &[1.0])],
+        );
+        let report = compare(&base, &cand, &WatchdogConfig::default());
+        assert!(report.is_clean());
+        assert_eq!(report.series_checked, 0);
+    }
+}

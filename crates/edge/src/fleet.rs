@@ -252,6 +252,17 @@ impl<'a> EdgeEngine<'a> {
                 .filter(|h| !busy.contains(h))
                 .count() as u64;
             leo_obs::counter!("edge.ticks").incr();
+            // Per-tick gauges, sampled in this sequential cell-order
+            // fold so point order is thread-count-invariant. A binary
+            // running several sweeps (fig_edge: sweep, empty-plan check,
+            // outage sweep) concatenates its passes into one series.
+            leo_obs::timeseries!("edge.busy_sats").sample(t, busy.len() as f64);
+            leo_obs::timeseries!("edge.standby_sats").sample(t, standby as f64);
+            leo_obs::timeseries!("edge.demand").sample(t, demand as f64);
+            leo_obs::timeseries!("edge.served").sample(t, served as f64);
+            leo_obs::timeseries!("edge.cold_starts").sample(t, place_stats.cold_starts as f64);
+            leo_obs::timeseries!("edge.replica_repairs").sample(t, repair_stats.repairs as f64);
+            leo_obs::trace_instant("edge.tick");
             ticks.push(TickStats {
                 time_s: t,
                 busy_sats: busy.len() as u64,

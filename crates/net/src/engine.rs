@@ -619,6 +619,11 @@ impl RoutingEngine {
         leo_obs::counter!("engine.delta.skipped_edges").add(stats.skipped() as u64);
         if stats.full_rebuild {
             leo_obs::counter!("engine.delta.full_rebuilds").incr();
+            // A self-validating fallback is correct but expensive; make
+            // it visible as a point event in the exported trace, where
+            // an unexpected burst of rebuilds is much easier to spot
+            // than in an end-of-run total.
+            leo_obs::trace_instant("engine.delta.full_rebuild");
         }
     }
 

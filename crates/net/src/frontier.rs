@@ -231,6 +231,7 @@ pub fn settle_nearest(
     state: &mut NearestState,
     out: &mut Vec<Option<VisibleSat>>,
 ) {
+    let _span = leo_obs::span!("engine.frontier.settle_s");
     leo_obs::counter!("engine.frontier.settles").incr();
     state.reset(set.len());
     challenge(index, set, effective_plan(plan), None, state);
@@ -263,6 +264,7 @@ pub fn refresh_nearest(
         set.len(),
         "refresh_nearest needs a previously settled state for this set"
     );
+    let _span = leo_obs::span!("engine.frontier.refresh_s");
     leo_obs::counter!("engine.frontier.refreshes").incr();
     let plan = effective_plan(plan);
     let mut dirty = 0u64;
@@ -300,6 +302,7 @@ pub fn settle_visible_lists(
     plan: Option<&FaultPlan>,
     out: &mut Vec<Vec<VisibleSat>>,
 ) {
+    let _span = leo_obs::span!("engine.frontier.list_settle_s");
     leo_obs::counter!("engine.frontier.list_settles").incr();
     out.clear();
     out.resize_with(set.len(), Vec::new);

@@ -19,22 +19,32 @@
 //! * **span timers** read the clock, so they sit behind a second level:
 //!   `LEO_OBS=1` enables counters and histograms, `LEO_OBS=2` (or
 //!   `full`) additionally enables spans.
+//! * **structured trace events** sit behind a third level (`LEO_OBS=3`
+//!   or `trace`): span begin/end and instant events with thread
+//!   attribution, buffered in per-thread-shard ring buffers and drained
+//!   by [`take_trace`] into Chrome trace-event JSON
+//!   ([`chrome_trace_json`], loadable in Perfetto / chrome://tracing).
 //!
 //! Handles are interned per call site through the [`counter!`],
-//! [`histogram!`], and [`span!`] macros: the first execution registers
-//! the metric (by name, deduplicated) in the process-wide registry and
-//! leaks it to `&'static`; later executions are a single
-//! `OnceLock::get`. [`snapshot`] walks the registry and folds the shards
-//! into a serializer-friendly dump; [`reset`] zeroes everything (tests
-//! and multi-run tools).
+//! [`histogram!`], [`span!`], and [`timeseries!`] macros: the first
+//! execution registers the metric (by name, deduplicated) in the
+//! process-wide registry and leaks it to `&'static`; later executions
+//! are a single `OnceLock::get`. [`snapshot`] walks the registry and
+//! folds the shards into a serializer-friendly dump; [`reset`] zeroes
+//! everything (tests and multi-run tools).
 //!
 //! Counters must be deterministic functions of the work performed — not
 //! of scheduling — so that run manifests can be diffed across thread
 //! counts; anything timing-derived belongs in a histogram or span.
+//! [`TimeSeries`] gauges carry the same contract over orbital time: work
+//! series are sampled from sequential fold loops only (one point per
+//! snapshot/tick, deterministic order), while wall-clock series are
+//! flagged [`TimeSeries::is_timing`] and gated like spans.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -50,8 +60,11 @@ pub enum Level {
     /// Counters and histograms record; span timers stay off (no clock
     /// reads on hot paths).
     Metrics = 1,
-    /// Everything records, including span timers.
+    /// Metrics plus span timers.
     Full = 2,
+    /// Everything, plus structured trace events (span begin/end and
+    /// instants) buffered for Chrome trace-event export.
+    Trace = 3,
 }
 
 impl Level {
@@ -68,14 +81,25 @@ static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
 
 /// The `LEO_OBS` decision as a pure function of the variable's value
 /// (`None` = unset): `1`/`metrics` → [`Level::Metrics`], `2`/`full` →
-/// [`Level::Full`], anything else (including unset, empty, and `0`) →
-/// [`Level::Off`]. Split out so tests never mutate the process
-/// environment.
+/// [`Level::Full`], `3`/`trace` → [`Level::Trace`], anything else
+/// (including unset, empty, and `0`) → [`Level::Off`]. Split out so
+/// tests never mutate the process environment.
 pub fn level_from(value: Option<&str>) -> Level {
+    level_from_checked(value).0
+}
+
+/// [`level_from`] plus whether the value was a *documented* spelling
+/// (unset, empty, `0`/`off`, `1`/`metrics`, `2`/`full`, `3`/`trace`).
+/// A typo'd `LEO_OBS=ful` still falls back to [`Level::Off`], but the
+/// `false` lets callers surface it (the run manifests record it under
+/// `config_warnings`).
+pub fn level_from_checked(value: Option<&str>) -> (Level, bool) {
     match value.map(str::trim) {
-        Some("1") | Some("metrics") => Level::Metrics,
-        Some("2") | Some("full") => Level::Full,
-        _ => Level::Off,
+        None | Some("") | Some("0") | Some("off") => (Level::Off, true),
+        Some("1") | Some("metrics") => (Level::Metrics, true),
+        Some("2") | Some("full") => (Level::Full, true),
+        Some("3") | Some("trace") => (Level::Trace, true),
+        Some(_) => (Level::Off, false),
     }
 }
 
@@ -83,6 +107,7 @@ fn decode(raw: u8) -> Level {
     match raw {
         1 => Level::Metrics,
         2 => Level::Full,
+        3 => Level::Trace,
         _ => Level::Off,
     }
 }
@@ -117,7 +142,13 @@ pub fn metrics_enabled() -> bool {
 /// True when span timers read the clock.
 #[inline]
 pub fn spans_enabled() -> bool {
-    level() == Level::Full
+    level() >= Level::Full
+}
+
+/// True when structured trace events are buffered.
+#[inline]
+pub fn trace_enabled() -> bool {
+    level() >= Level::Trace
 }
 
 // -------------------------------------------------------------- sharding
@@ -145,6 +176,7 @@ fn shard_index() -> usize {
 struct Registry {
     counters: Mutex<Vec<&'static Counter>>,
     histograms: Mutex<Vec<&'static Histogram>>,
+    series: Mutex<Vec<&'static TimeSeries>>,
 }
 
 fn registry() -> &'static Registry {
@@ -351,10 +383,13 @@ impl Histogram {
     }
 
     /// Starts a scoped timer recording seconds into this histogram on
-    /// drop — a no-op (no clock read) unless [`spans_enabled`].
+    /// drop — a no-op (no clock read) unless [`spans_enabled`]. At
+    /// [`Level::Trace`] the span additionally emits begin/end trace
+    /// events under its histogram name (category `"span"`).
     pub fn span(&'static self) -> Span {
         Span {
             start: spans_enabled().then(Instant::now),
+            trace: trace_enabled().then(|| trace_scope(self.name, "span")),
             histogram: self,
         }
     }
@@ -409,9 +444,11 @@ impl Histogram {
 
 /// A scoped span timer: measures from construction to drop and records
 /// the elapsed seconds into its histogram. Inert (no clock read at all)
-/// unless the level is [`Level::Full`].
+/// below [`Level::Full`]; at [`Level::Trace`] it also carries a
+/// [`TraceScope`] so the interval shows up in the exported trace.
 pub struct Span {
     start: Option<Instant>,
+    trace: Option<TraceScope>,
     histogram: &'static Histogram,
 }
 
@@ -420,6 +457,343 @@ impl Drop for Span {
         if let Some(start) = self.start {
             self.histogram.record(start.elapsed().as_secs_f64());
         }
+        // `trace` drops after this body, closing the trace interval.
+        let _ = &self.trace;
+    }
+}
+
+// --------------------------------------------------------------- tracing
+
+/// Maximum buffered trace events per shard. A full shard drops further
+/// *begin*/*instant* events (counted, reported in the dump) — *end*
+/// events whose begin made it in are always recorded, so the per-thread
+/// span tree stays balanced; the only overshoot is the open-span depth.
+pub const TRACE_SHARD_CAP: usize = 1 << 16;
+
+/// One structured trace event, Chrome trace-event shaped: `ph` is `'B'`
+/// (span begin), `'E'` (span end), or `'i'` (instant); `ts_us` is
+/// microseconds since the process trace epoch; `tid` is a stable
+/// per-thread ordinal (assigned on first trace emission).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event name (span or instant label).
+    pub name: Cow<'static, str>,
+    /// Category, e.g. `"phase"`, `"span"`, `"mark"`.
+    pub cat: &'static str,
+    /// Chrome phase: `'B'`, `'E'`, or `'i'`.
+    pub ph: char,
+    /// Microseconds since the process trace epoch.
+    pub ts_us: u64,
+    /// Per-thread ordinal; all events of one thread share it.
+    pub tid: u64,
+}
+
+#[derive(Default)]
+struct TraceShard {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+fn trace_shards() -> &'static [Mutex<TraceShard>; NUM_SHARDS] {
+    static SHARDS: OnceLock<[Mutex<TraceShard>; NUM_SHARDS]> = OnceLock::new();
+    SHARDS.get_or_init(Default::default)
+}
+
+/// The instant all trace timestamps are measured from: first trace
+/// emission in the process.
+fn trace_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn trace_now_us() -> u64 {
+    trace_epoch().elapsed().as_micros() as u64
+}
+
+/// This thread's trace ordinal, assigned on first use. Unlike
+/// [`shard_index`] (round-robin, reused), tids are unique per thread, so
+/// begin/end pairs of one tid are strictly LIFO even when two threads
+/// share a buffer shard.
+fn trace_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Pushes one event into its shard's buffer. `force` bypasses the
+/// capacity cap (span ends, to keep trees balanced); a capped non-forced
+/// push is counted as dropped instead.
+fn trace_push(ev: TraceEvent, force: bool) -> bool {
+    let shard = &trace_shards()[(ev.tid as usize) % NUM_SHARDS];
+    let mut s = shard.lock().expect("trace shard");
+    if force || s.events.len() < TRACE_SHARD_CAP {
+        s.events.push(ev);
+        true
+    } else {
+        s.dropped += 1;
+        false
+    }
+}
+
+/// Records an instant trace event (category `"mark"`) when
+/// [`trace_enabled`]; one relaxed load otherwise.
+#[inline]
+pub fn trace_instant(name: impl Into<Cow<'static, str>>) {
+    if trace_enabled() {
+        trace_push(
+            TraceEvent {
+                name: name.into(),
+                cat: "mark",
+                ph: 'i',
+                ts_us: trace_now_us(),
+                tid: trace_tid(),
+            },
+            false,
+        );
+    }
+}
+
+/// Opens a scoped trace interval: emits a begin event now and the
+/// matching end event on drop. Inert (one relaxed load, no clock read)
+/// below [`Level::Trace`]. The level is latched at creation: the end is
+/// emitted iff the begin was, so buffers always hold balanced trees.
+pub fn trace_scope(name: impl Into<Cow<'static, str>>, cat: &'static str) -> TraceScope {
+    if !trace_enabled() {
+        return TraceScope {
+            name: Cow::Borrowed(""),
+            cat,
+            tid: 0,
+            armed: false,
+        };
+    }
+    let name = name.into();
+    let tid = trace_tid();
+    let armed = trace_push(
+        TraceEvent {
+            name: name.clone(),
+            cat,
+            ph: 'B',
+            ts_us: trace_now_us(),
+            tid,
+        },
+        false,
+    );
+    TraceScope {
+        name,
+        cat,
+        tid,
+        armed,
+    }
+}
+
+/// An open trace interval; closes (emits the end event) on drop. See
+/// [`trace_scope`].
+pub struct TraceScope {
+    name: Cow<'static, str>,
+    cat: &'static str,
+    tid: u64,
+    armed: bool,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        if self.armed {
+            trace_push(
+                TraceEvent {
+                    name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
+                    cat: self.cat,
+                    ph: 'E',
+                    ts_us: trace_now_us(),
+                    tid: self.tid,
+                },
+                true,
+            );
+        }
+    }
+}
+
+/// Everything buffered since the last drain: events ordered by
+/// `(ts_us, tid)` (stable, so each thread's emission order is kept) and
+/// the number of events dropped to the capacity cap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceDump {
+    /// Buffered events, ordered by timestamp then tid.
+    pub events: Vec<TraceEvent>,
+    /// Begin/instant events dropped because a shard was full.
+    pub dropped: u64,
+}
+
+/// Drains every trace buffer into one dump (and resets the dropped
+/// counts). Trace events are wall-clock data: unlike counters they are
+/// *not* deterministic across runs or thread counts, which is why they
+/// are exported to a separate `.trace.json`, never into result files.
+pub fn take_trace() -> TraceDump {
+    let mut dump = TraceDump::default();
+    for shard in trace_shards() {
+        let mut s = shard.lock().expect("trace shard");
+        dump.events.append(&mut s.events);
+        dump.dropped += s.dropped;
+        s.dropped = 0;
+    }
+    dump.events.sort_by_key(|e| (e.ts_us, e.tid));
+    dump
+}
+
+fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serializes a [`TraceDump`] as Chrome trace-event JSON (the
+/// "JSON object format"): open the result in Perfetto
+/// (<https://ui.perfetto.dev>) or chrome://tracing. Instant events carry
+/// thread scope (`"s":"t"`); the drop count, when nonzero, is recorded
+/// under `otherData`.
+pub fn chrome_trace_json(dump: &TraceDump) -> String {
+    let mut out = String::with_capacity(64 + dump.events.len() * 80);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in dump.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json_into(&e.name, &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape_json_into(e.cat, &mut out);
+        out.push_str("\",\"ph\":\"");
+        out.push(e.ph);
+        out.push_str("\",\"ts\":");
+        out.push_str(&e.ts_us.to_string());
+        out.push_str(",\"pid\":1,\"tid\":");
+        out.push_str(&e.tid.to_string());
+        if e.ph == 'i' {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push('}');
+    }
+    out.push_str("],\"otherData\":{\"droppedEvents\":");
+    out.push_str(&dump.dropped.to_string());
+    out.push_str("}}");
+    out
+}
+
+// ----------------------------------------------------------- time series
+
+/// A named gauge sampled over an experiment's own x-axis (orbital time,
+/// snapshot index): each [`TimeSeries::sample`] appends one `(x, value)`
+/// point.
+///
+/// Two kinds, fixed at registration:
+///
+/// * **work** series (`timing == false`) record deterministic functions
+///   of the work done — gated like counters ([`metrics_enabled`]) and
+///   sampled only from sequential fold loops (one point per
+///   snapshot/tick on the main thread), so dumps are byte-identical
+///   across thread counts;
+/// * **timing** series (`timing == true`) record wall-clock readings —
+///   gated like spans ([`spans_enabled`]) and excluded from determinism
+///   comparisons.
+pub struct TimeSeries {
+    name: &'static str,
+    timing: bool,
+    points: Mutex<Vec<(f64, f64)>>,
+}
+
+impl TimeSeries {
+    /// The series registered under `name`, creating it on first use.
+    /// The `timing` kind is fixed by whichever registration ran first.
+    pub fn register(name: &'static str, timing: bool) -> &'static TimeSeries {
+        let mut list = registry().series.lock().expect("series registry");
+        if let Some(s) = list.iter().find(|s| s.name == name) {
+            debug_assert_eq!(
+                s.timing, timing,
+                "time series {name:?} re-registered with a different kind"
+            );
+            return s;
+        }
+        let s: &'static TimeSeries = Box::leak(Box::new(TimeSeries {
+            name,
+            timing,
+            points: Mutex::new(Vec::new()),
+        }));
+        list.push(s);
+        s
+    }
+
+    /// The series' registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// True when this series records wall-clock readings (gated like
+    /// spans, excluded from determinism checks).
+    pub fn is_timing(&self) -> bool {
+        self.timing
+    }
+
+    /// Appends one `(x, value)` point when the series' gate is open
+    /// ([`metrics_enabled`] for work series, [`spans_enabled`] for
+    /// timing series); a load + branch otherwise.
+    #[inline]
+    pub fn sample(&self, x: f64, value: f64) {
+        let on = if self.timing {
+            spans_enabled()
+        } else {
+            metrics_enabled()
+        };
+        if on {
+            self.points.lock().expect("time series").push((x, value));
+        }
+    }
+
+    /// Copies the recorded points into an immutable dump.
+    pub fn dump(&self) -> TimeSeriesDump {
+        TimeSeriesDump {
+            name: self.name.to_string(),
+            timing: self.timing,
+            points: self.points.lock().expect("time series").clone(),
+        }
+    }
+
+    fn reset(&self) {
+        self.points.lock().expect("time series").clear();
+    }
+}
+
+/// An immutable copy of one time series' points, in sample order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesDump {
+    /// Registered series name.
+    pub name: String,
+    /// True for wall-clock series (see [`TimeSeries::is_timing`]).
+    pub timing: bool,
+    /// `(x, value)` points in the order sampled.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl TimeSeriesDump {
+    /// Largest sampled value, `None` when empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |m: f64| m.max(v))))
+    }
+
+    /// Arithmetic mean of the sampled values, `None` when empty.
+    pub fn mean_value(&self) -> Option<f64> {
+        (!self.points.is_empty())
+            .then(|| self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
     }
 }
 
@@ -483,10 +857,19 @@ impl HistogramDump {
         self.buckets.last().map(|b| b.hi)
     }
 
-    /// The `q`-quantile by nearest rank over the bucket representatives,
-    /// `None` when empty. Accurate to one bucket width (≲ 19 %).
+    /// The `q`-quantile over the bucket representatives, `None` when the
+    /// dump is empty or `q` is NaN. Accurate to one bucket width
+    /// (≲ 19 %).
+    ///
+    /// The rule is **nearest rank**: with `q` clamped to `[0, 1]` and
+    /// `n = count`, the answer is the [`Bucket::mid`] of the bucket
+    /// holding sample number `max(1, ceil(q·n))` in ascending order. So
+    /// `q = 0` is the lowest non-empty bucket's representative, `q = 1`
+    /// the highest, a single-bucket dump answers that bucket's `mid` for
+    /// every `q`, and the result is monotone non-decreasing in `q` (the
+    /// rank is monotone and buckets ascend).
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.count == 0 {
+        if self.count == 0 || q.is_nan() {
             return None;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
@@ -539,6 +922,8 @@ pub struct ObsSnapshot {
     pub counters: Vec<(String, u64)>,
     /// One dump per registered histogram.
     pub histograms: Vec<HistogramDump>,
+    /// One dump per registered time series.
+    pub series: Vec<TimeSeriesDump>,
 }
 
 /// Folds every registered counter and histogram into a snapshot. Metrics
@@ -562,13 +947,23 @@ pub fn snapshot() -> ObsSnapshot {
         .map(|h| h.dump())
         .collect();
     histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut series: Vec<TimeSeriesDump> = reg
+        .series
+        .lock()
+        .expect("series registry")
+        .iter()
+        .map(|s| s.dump())
+        .collect();
+    series.sort_by(|a, b| a.name.cmp(&b.name));
     ObsSnapshot {
         counters,
         histograms,
+        series,
     }
 }
 
-/// Zeroes every registered counter and histogram (registration is kept).
+/// Zeroes every registered counter, histogram, and time series
+/// (registration is kept), and discards any buffered trace events.
 pub fn reset() {
     let reg = registry();
     for c in reg.counters.lock().expect("counter registry").iter() {
@@ -577,6 +972,10 @@ pub fn reset() {
     for h in reg.histograms.lock().expect("histogram registry").iter() {
         h.reset();
     }
+    for s in reg.series.lock().expect("series registry").iter() {
+        s.reset();
+    }
+    let _ = take_trace();
 }
 
 // ---------------------------------------------------------------- macros
@@ -610,6 +1009,28 @@ macro_rules! span {
     };
 }
 
+/// The `&'static TimeSeries` (work kind) named by the literal, interned
+/// per call site.
+#[macro_export]
+macro_rules! timeseries {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::TimeSeries> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::TimeSeries::register($name, false))
+    }};
+}
+
+/// The `&'static TimeSeries` (wall-clock timing kind) named by the
+/// literal, interned per call site.
+#[macro_export]
+macro_rules! timeseries_wall {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::TimeSeries> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::TimeSeries::register($name, true))
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,12 +1052,39 @@ mod tests {
         assert_eq!(level_from(None), Level::Off);
         assert_eq!(level_from(Some("")), Level::Off);
         assert_eq!(level_from(Some("0")), Level::Off);
+        assert_eq!(level_from(Some("off")), Level::Off);
         assert_eq!(level_from(Some("1")), Level::Metrics);
         assert_eq!(level_from(Some("metrics")), Level::Metrics);
         assert_eq!(level_from(Some("2")), Level::Full);
         assert_eq!(level_from(Some("full")), Level::Full);
+        assert_eq!(level_from(Some("3")), Level::Trace);
+        assert_eq!(level_from(Some("trace")), Level::Trace);
         assert_eq!(level_from(Some(" 1 ")), Level::Metrics);
         assert_eq!(level_from(Some("nonsense")), Level::Off);
+    }
+
+    #[test]
+    fn level_from_checked_flags_typos() {
+        for ok in [
+            None,
+            Some(""),
+            Some("0"),
+            Some("off"),
+            Some("1"),
+            Some("metrics"),
+            Some("2"),
+            Some("full"),
+            Some("3"),
+            Some("trace"),
+            Some(" trace "),
+        ] {
+            assert!(level_from_checked(ok).1, "value {ok:?} flagged as typo");
+        }
+        for bad in [Some("ful"), Some("4"), Some("tracing"), Some("on")] {
+            let (l, recognized) = level_from_checked(bad);
+            assert_eq!(l, Level::Off, "value {bad:?}");
+            assert!(!recognized, "value {bad:?} not flagged");
+        }
     }
 
     #[test]
@@ -778,6 +1226,268 @@ mod tests {
             h.time(|| std::hint::black_box(1 + 1));
             assert_eq!(h.dump().count, 1);
             assert!(h.dump().sum >= 0.0);
+        });
+        with_level(Level::Trace, || {
+            h.reset();
+            h.time(|| std::hint::black_box(1 + 1));
+            assert_eq!(h.dump().count, 1, "trace level must keep spans on");
+            let _ = take_trace();
+        });
+    }
+
+    #[test]
+    fn quantile_edges_are_pinned() {
+        with_level(Level::Metrics, || {
+            let h = Histogram::register("test.quantile.edges");
+            h.reset();
+            for i in 1..=100 {
+                h.record(i as f64);
+            }
+            let d = h.dump();
+            // q = 0 is the lowest bucket's representative, q = 1 the
+            // highest; out-of-range q clamps to the same answers.
+            assert_eq!(d.quantile(0.0), Some(d.buckets.first().unwrap().mid()));
+            assert_eq!(d.quantile(1.0), Some(d.buckets.last().unwrap().mid()));
+            assert_eq!(d.quantile(-3.0), d.quantile(0.0));
+            assert_eq!(d.quantile(7.0), d.quantile(1.0));
+            assert_eq!(d.quantile(f64::NAN), None);
+
+            // Single-bucket dump: every q answers that bucket's mid.
+            let h1 = Histogram::register("test.quantile.single");
+            h1.reset();
+            for _ in 0..5 {
+                h1.record(3.0);
+            }
+            let d1 = h1.dump();
+            assert_eq!(d1.buckets.len(), 1);
+            let mid = d1.buckets[0].mid();
+            for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+                assert_eq!(d1.quantile(q), Some(mid), "q = {q}");
+            }
+
+            // Empty dump: always None.
+            let h0 = Histogram::register("test.quantile.empty");
+            h0.reset();
+            assert_eq!(h0.dump().quantile(0.5), None);
+        });
+    }
+
+    #[test]
+    fn timeseries_gating_follows_the_level() {
+        let work = TimeSeries::register("test.series.work", false);
+        let wall = TimeSeries::register("test.series.wall", true);
+        with_level(Level::Off, || {
+            work.reset();
+            wall.reset();
+            work.sample(0.0, 1.0);
+            wall.sample(0.0, 1.0);
+            assert!(work.dump().points.is_empty());
+            assert!(wall.dump().points.is_empty());
+        });
+        with_level(Level::Metrics, || {
+            work.reset();
+            wall.reset();
+            work.sample(1.0, 2.0);
+            wall.sample(1.0, 2.0);
+            assert_eq!(work.dump().points, vec![(1.0, 2.0)]);
+            assert!(
+                wall.dump().points.is_empty(),
+                "timing series must stay off at Metrics"
+            );
+        });
+        with_level(Level::Full, || {
+            work.reset();
+            wall.reset();
+            work.sample(2.0, 3.0);
+            wall.sample(2.0, 3.0);
+            assert_eq!(work.dump().points, vec![(2.0, 3.0)]);
+            assert_eq!(wall.dump().points, vec![(2.0, 3.0)]);
+        });
+    }
+
+    #[test]
+    fn timeseries_register_deduplicates_and_snapshots() {
+        with_level(Level::Metrics, || {
+            let a = timeseries!("test.series.dedupe");
+            let b = TimeSeries::register("test.series.dedupe", false);
+            assert!(std::ptr::eq(a, b));
+            a.reset();
+            a.sample(0.0, 10.0);
+            a.sample(60.0, 12.0);
+            let snap = snapshot();
+            let d = snap
+                .series
+                .iter()
+                .find(|s| s.name == "test.series.dedupe")
+                .expect("series registered");
+            assert!(!d.timing);
+            assert_eq!(d.points, vec![(0.0, 10.0), (60.0, 12.0)]);
+            assert_eq!(d.max_value(), Some(12.0));
+            assert_eq!(d.mean_value(), Some(11.0));
+            let names: Vec<&String> = snap.series.iter().map(|s| &s.name).collect();
+            let mut sorted = names.clone();
+            sorted.sort();
+            assert_eq!(names, sorted, "snapshot series must be name-sorted");
+            reset();
+            assert!(a.dump().points.is_empty());
+        });
+    }
+
+    #[test]
+    fn trace_scopes_balance_and_drain() {
+        with_level(Level::Trace, || {
+            let _ = take_trace(); // drain anything earlier tests left
+            {
+                let _outer = trace_scope("outer", "phase");
+                trace_instant("tick");
+                let _inner = trace_scope("inner", "span");
+            }
+            let dump = take_trace();
+            assert_eq!(dump.dropped, 0);
+            let phases: Vec<(char, &str)> = dump
+                .events
+                .iter()
+                .map(|e| (e.ph, e.name.as_ref()))
+                .collect();
+            assert_eq!(
+                phases,
+                vec![
+                    ('B', "outer"),
+                    ('i', "tick"),
+                    ('B', "inner"),
+                    ('E', "inner"),
+                    ('E', "outer"),
+                ]
+            );
+            // All on one thread: one tid, timestamps non-decreasing.
+            let tid = dump.events[0].tid;
+            assert!(dump.events.iter().all(|e| e.tid == tid));
+            assert!(dump.events.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+            // A second take is empty: the drain consumed the buffers.
+            assert!(take_trace().events.is_empty());
+        });
+    }
+
+    #[test]
+    fn trace_is_inert_below_trace_level() {
+        with_level(Level::Full, || {
+            let _ = take_trace();
+            {
+                let _s = trace_scope("quiet", "span");
+                trace_instant("quiet.mark");
+            }
+            let h = Histogram::register("test.trace.span");
+            h.time(|| ());
+            assert!(
+                take_trace().events.is_empty(),
+                "Full level must not buffer trace events"
+            );
+        });
+    }
+
+    #[test]
+    fn chrome_trace_json_is_well_formed() {
+        let dump = TraceDump {
+            events: vec![
+                TraceEvent {
+                    name: Cow::Borrowed("a \"quoted\"\nname"),
+                    cat: "phase",
+                    ph: 'B',
+                    ts_us: 0,
+                    tid: 1,
+                },
+                TraceEvent {
+                    name: Cow::Borrowed("mark"),
+                    cat: "mark",
+                    ph: 'i',
+                    ts_us: 5,
+                    tid: 1,
+                },
+                TraceEvent {
+                    name: Cow::Borrowed("a \"quoted\"\nname"),
+                    cat: "phase",
+                    ph: 'E',
+                    ts_us: 9,
+                    tid: 1,
+                },
+            ],
+            dropped: 2,
+        };
+        let json = chrome_trace_json(&dump);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("a \\\"quoted\\\"\\u000aname"));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"i\",") || json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"droppedEvents\":2"));
+        // Balanced quotes and braces — a cheap structural sanity check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('"').count() % 2, 0);
+    }
+
+    proptest::proptest! {
+        /// The nearest-rank rule makes quantiles monotone non-decreasing
+        /// in q, over an arbitrary positive sample set.
+        #[test]
+        fn prop_quantiles_are_monotone_in_q(
+            samples in proptest::collection::vec(1e-6..1e6f64, 1..64),
+            qa in 0.0..1.0f64,
+            qb in 0.0..1.0f64,
+        ) {
+            let mut folded = vec![0u64; SLOTS];
+            let mut sum = 0.0;
+            for &v in &samples {
+                folded[slot_of(v)] += 1;
+                sum += v;
+            }
+            // Build the dump directly from the shared bucketing scheme,
+            // sidestepping the process-global level and registry.
+            let buckets: Vec<Bucket> = folded
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(idx, &count)| Bucket {
+                    lo: bucket_lo(idx),
+                    hi: bucket_hi(idx),
+                    count,
+                })
+                .collect();
+            let d = HistogramDump {
+                name: "prop".into(),
+                count: samples.len() as u64,
+                sum,
+                buckets,
+            };
+            let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+            let vlo = d.quantile(lo).unwrap();
+            let vhi = d.quantile(hi).unwrap();
+            proptest::prop_assert!(
+                vlo <= vhi,
+                "quantile({lo}) = {vlo} > quantile({hi}) = {vhi}"
+            );
+            proptest::prop_assert_eq!(d.quantile(0.0).unwrap(), d.buckets.first().unwrap().mid());
+            proptest::prop_assert_eq!(d.quantile(1.0).unwrap(), d.buckets.last().unwrap().mid());
+        }
+    }
+
+    #[test]
+    fn trace_capacity_drops_begins_but_never_ends() {
+        with_level(Level::Trace, || {
+            let _ = take_trace();
+            // Saturate this thread's shard with instants, then check a
+            // span opened at capacity still closes cleanly (no E without
+            // B, no B without E).
+            for _ in 0..TRACE_SHARD_CAP {
+                trace_instant("fill");
+            }
+            {
+                let _s = trace_scope("late", "span");
+            }
+            let dump = take_trace();
+            assert!(dump.dropped >= 1, "capped pushes must be counted");
+            let b = dump.events.iter().filter(|e| e.ph == 'B').count();
+            let e = dump.events.iter().filter(|e| e.ph == 'E').count();
+            assert_eq!(b, e, "span tree out of balance: {b} begins, {e} ends");
         });
     }
 

@@ -222,6 +222,7 @@ impl ServeEngine {
             delta_full_rebuilds: 0,
         };
         for (step, &t) in times.iter().enumerate() {
+            let snap_t0 = leo_obs::spans_enabled().then(Instant::now);
             let view = self.service.view(t);
             // Incremental weight refresh, chained from the previous
             // instant and proven against the view's full refresh.
@@ -299,6 +300,29 @@ impl ServeEngine {
             leo_obs::counter!("serve.handoffs").add(row.handoffs);
             leo_obs::counter!("serve.snapshots").incr();
             report.total_queries += current.len() as u64;
+
+            // Per-snapshot gauges, sampled here in the sequential fold
+            // (never from the shard workers) so point order — and the
+            // manifest's timeseries section — is thread-count-invariant.
+            leo_obs::timeseries!("serve.served").sample(t, row.served as f64);
+            leo_obs::timeseries!("serve.handoffs").sample(t, row.handoffs as f64);
+            leo_obs::timeseries!("serve.delta_recomputed").sample(t, stats.recomputed as f64);
+            // 0 = cold settle, 1 = warm incremental refresh, 2 = label
+            // reuse (warm with nothing moved) — the warm-start decay
+            // curve over orbital time.
+            let mode_code = match &mode {
+                SettleMode::Cold => 0.0,
+                SettleMode::Warm(moved) if moved.iter().any(|&m| m) => 1.0,
+                SettleMode::Warm(_) => 2.0,
+            };
+            leo_obs::timeseries!("serve.frontier_mode").sample(t, mode_code);
+            leo_obs::trace_instant("serve.snapshot");
+            if let Some(t0) = snap_t0 {
+                // Wall-clock series: spans-gated, excluded from the
+                // determinism comparisons like every timing metric.
+                leo_obs::timeseries_wall!("serve.snapshot_wall_s")
+                    .sample(t, t0.elapsed().as_secs_f64());
+            }
 
             let every = self.config.validate_every;
             if every > 0 && step % every == 0 && self.users.num_shards() > 0 {

@@ -209,7 +209,19 @@ impl<'a> TimeSweep<'a> {
     pub fn prepare(&self) -> Vec<Arc<SnapshotView>> {
         let _span = leo_obs::span!("sim.prepare_s");
         leo_obs::counter!("sim.sweep_instants").add(self.times.len() as u64);
-        parallel_map(self.times.clone(), self.threads, |&t| self.service.view(t))
+        let views = parallel_map(self.times.clone(), self.threads, |&t| self.service.view(t));
+        // Per-instant gauge of the CSR engine's usable ISL edges —
+        // sampled here on the main thread, in schedule order, after the
+        // parallel build (so the series is thread-count-invariant). A
+        // fault plan cutting links or killing satellites shows up as
+        // steps in this curve.
+        if leo_obs::metrics_enabled() {
+            for (t, view) in self.times.iter().zip(&views) {
+                leo_obs::timeseries!("engine.isl_active_edges")
+                    .sample(*t, view.isl_weights().active_edges() as f64);
+            }
+        }
+        views
     }
 
     /// Runs `f` once per ground item against the prebuilt views, fanning
