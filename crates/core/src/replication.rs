@@ -17,8 +17,14 @@
 use crate::selection::{sticky_select, GroupDelays, Policy};
 use crate::service::InOrbitService;
 use leo_constellation::SatId;
+use leo_geo::consts::SPEED_OF_LIGHT_M_S;
+use leo_net::congestion::{
+    uncontended_packet_transfer_s, CbrFlow, CcAlgorithm, CongestionLink, CongestionNetwork,
+    WindowedFlow,
+};
 use leo_net::des::{uncontended_transfer_s, Link};
-use leo_net::routing::GroundEndpoint;
+use leo_net::graph::NodeId;
+use leo_net::routing::{self, GroundEndpoint};
 use serde::{Deserialize, Serialize};
 
 /// One predicted serving interval.
@@ -180,6 +186,260 @@ impl ReplicationPlan {
     }
 }
 
+/// Network model for packet-level migration timing: per-ISL capacity,
+/// queueing, marking, the sender's congestion-control algorithm, and the
+/// background load competing for each hop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationNetConfig {
+    /// Capacity of every ISL on the route, bits per second.
+    pub isl_rate_bps: f64,
+    /// Drop-tail queue capacity per ISL, packets.
+    pub queue_packets: usize,
+    /// ECN marking threshold (queue occupancy, packets); `None` disables
+    /// marking.
+    pub ecn_threshold: Option<usize>,
+    /// Simulated packet size, bits. Large "GSO-burst" packets keep event
+    /// counts tractable without changing queueing behavior qualitatively.
+    pub packet_bits: f64,
+    /// Congestion-control algorithm for the migration sender.
+    pub algorithm: CcAlgorithm,
+    /// Background EO/user cross-traffic on *each* ISL of the route, as a
+    /// fraction of `isl_rate_bps`. Open-loop: it does not back off.
+    pub cross_load_frac: f64,
+    /// Route-refresh cadence, seconds: every `segment_s` the ISL route is
+    /// rebuilt from the constellation snapshot at that instant. Packets in
+    /// flight across a route change are lost (handover loss) and the
+    /// window restarts halved.
+    pub segment_s: f64,
+    /// Give up after this many route segments without completing.
+    pub max_segments: usize,
+}
+
+impl Default for MigrationNetConfig {
+    fn default() -> Self {
+        Self {
+            isl_rate_bps: 10e9,
+            queue_packets: 256,
+            ecn_threshold: Some(64),
+            packet_bits: 384_000.0, // 48 kB GSO bursts
+            algorithm: CcAlgorithm::Dctcp { gain: 0.0625 },
+            cross_load_frac: 0.0,
+            segment_s: 15.0,
+            max_segments: 240,
+        }
+    }
+}
+
+/// Outcome of one packet-level state migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationOutcome {
+    /// Wall-clock transfer time, seconds; `None` if the transfer did not
+    /// complete within `max_segments` route segments.
+    pub duration_s: Option<f64>,
+    /// Analytic uncontended bound for the *initial* route, packetized
+    /// (first packet store-and-forwards, the rest pipeline behind the
+    /// slowest hop). Equals [`uncontended_transfer_s`] on one-hop routes.
+    pub analytic_packet_s: f64,
+    /// Analytic uncontended bound for the initial route with the state as
+    /// one indivisible message ([`uncontended_transfer_s`]); an upper
+    /// bound on the packetized bound.
+    pub analytic_message_s: f64,
+    /// ISL hops on the initial route.
+    pub hops: usize,
+    /// Distinct packets the transfer comprises.
+    pub packets: u64,
+    /// Route segments the transfer spanned.
+    pub segments: usize,
+    /// Segments whose route differed from the previous segment's.
+    pub route_changes: usize,
+    /// Total packet transmissions, including retransmissions.
+    pub transmissions: u64,
+    /// Retransmissions after drop-tail loss or timeout.
+    pub retransmissions: u64,
+    /// Transmissions lost to full queues.
+    pub dropped: u64,
+    /// Packets still in flight when a route segment ended: lost to the
+    /// handover, re-sent on the next segment.
+    pub boundary_loss: u64,
+    /// Deliveries carrying an ECN congestion-experienced mark.
+    pub ecn_marked: u64,
+}
+
+/// Times a live state migration from `from` to `to` starting at `start_s`
+/// through the congestion-aware packet engine, instead of the analytic
+/// [`uncontended_transfer_s`] bound.
+///
+/// The transfer is simulated in segments of [`MigrationNetConfig::segment_s`]
+/// seconds. For each segment the shortest ISL route is rebuilt from the
+/// constellation snapshot at the segment's start (link propagation delays
+/// from actual inter-satellite distances, capacity and queueing from the
+/// config), an independent open-loop cross-traffic flow is placed on every
+/// hop, and the windowed sender moves as much of the remaining state as
+/// the segment allows. Packets in flight when the segment ends are lost —
+/// the handover-loss case — and the window restarts halved on the next
+/// segment's route.
+///
+/// Deterministic: identical inputs produce identical outcomes, independent
+/// of thread count or observability level.
+pub fn migrate_via_packets(
+    service: &InOrbitService,
+    from: SatId,
+    to: SatId,
+    start_s: f64,
+    size_bytes: f64,
+    cfg: &MigrationNetConfig,
+) -> MigrationOutcome {
+    assert!(
+        size_bytes.is_finite() && size_bytes > 0.0,
+        "state size must be positive and finite, got {size_bytes}"
+    );
+    assert!(
+        start_s.is_finite(),
+        "migration start must be finite, got {start_s}"
+    );
+    assert!(
+        cfg.segment_s.is_finite() && cfg.segment_s > 0.0,
+        "segment length must be positive and finite, got {}",
+        cfg.segment_s
+    );
+    let total_packets = ((size_bytes * 8.0) / cfg.packet_bits).ceil().max(1.0) as u64;
+    let mut outcome = MigrationOutcome {
+        duration_s: None,
+        analytic_packet_s: 0.0,
+        analytic_message_s: 0.0,
+        hops: 0,
+        packets: total_packets,
+        segments: 0,
+        route_changes: 0,
+        transmissions: 0,
+        retransmissions: 0,
+        dropped: 0,
+        boundary_loss: 0,
+        ecn_marked: 0,
+    };
+    if from == to {
+        outcome.duration_s = Some(0.0);
+        outcome.packets = 0;
+        return outcome;
+    }
+
+    let mut remaining = total_packets;
+    let mut elapsed_s = 0.0;
+    let mut prev_route: Option<Vec<NodeId>> = None;
+    let mut carried_cwnd: Option<f64> = None;
+
+    for seg in 0..cfg.max_segments {
+        let seg_start = start_s + elapsed_s;
+        let view = service.view(seg_start);
+        let graph = service.graph(view.snapshot(), &[]);
+        let Some(path) = routing::sat_to_sat(&graph, from, to) else {
+            // No route this segment; wait for the topology to change.
+            outcome.segments = seg + 1;
+            elapsed_s += cfg.segment_s;
+            prev_route = None;
+            continue;
+        };
+        let route_changed = prev_route.as_deref().is_some_and(|r| r != path.nodes);
+        if route_changed {
+            outcome.route_changes += 1;
+        }
+
+        // Materialize the route as congestion links: configured capacity
+        // and queueing, propagation from the actual hop geometry.
+        let links: Vec<CongestionLink> = path
+            .nodes
+            .windows(2)
+            .map(|pair| {
+                let (NodeId::Sat(a), NodeId::Sat(b)) = (pair[0], pair[1]) else {
+                    unreachable!("sat-to-sat routes stay on the ISL mesh")
+                };
+                let snap = view.snapshot();
+                let prop_s = snap.position(a).distance_m(snap.position(b)) / SPEED_OF_LIGHT_M_S;
+                let link = CongestionLink::new(cfg.isl_rate_bps, prop_s, cfg.queue_packets);
+                match cfg.ecn_threshold {
+                    Some(t) => link.with_ecn(t.min(cfg.queue_packets)),
+                    None => link,
+                }
+            })
+            .collect();
+        if outcome.hops == 0 {
+            outcome.hops = links.len();
+            outcome.analytic_packet_s =
+                uncontended_packet_transfer_s(cfg.packet_bits, total_packets, &links);
+            let des_links: Vec<Link> = links
+                .iter()
+                .map(|l| Link::new(l.rate_bps, l.prop_delay_s))
+                .collect();
+            outcome.analytic_message_s = uncontended_transfer_s(size_bytes * 8.0, &des_links);
+        }
+        outcome.segments = seg + 1;
+
+        let mut net = CongestionNetwork::new();
+        let ids: Vec<_> = links.iter().map(|l| net.add_link(*l)).collect();
+        if cfg.cross_load_frac > 0.0 {
+            for id in &ids {
+                net.add_cbr(CbrFlow::with_load(
+                    vec![*id],
+                    cfg.packet_bits,
+                    cfg.cross_load_frac * cfg.isl_rate_bps,
+                    0.0,
+                    cfg.segment_s,
+                ));
+            }
+        }
+        // The sender knows the route it was handed: start at the path
+        // bandwidth-delay product (pacing prevents a burst) so an
+        // uncontended transfer runs at line rate immediately; carry the
+        // halved window across route changes.
+        let base_rtt_s: f64 = links
+            .iter()
+            .map(|l| cfg.packet_bits / l.rate_bps + 2.0 * l.prop_delay_s)
+            .sum();
+        let bdp_packets = (cfg.isl_rate_bps * base_rtt_s / cfg.packet_bits).max(10.0);
+        let init_cwnd = match carried_cwnd {
+            Some(w) if route_changed => (w / 2.0).max(1.0),
+            Some(w) => w,
+            None => bdp_packets,
+        };
+        let flow = WindowedFlow {
+            route: ids,
+            packet_bits: cfg.packet_bits,
+            packets: remaining,
+            start_s: 0.0,
+            init_cwnd,
+            max_cwnd: (2.0 * bdp_packets).max(init_cwnd),
+            algorithm: cfg.algorithm,
+            rto_s: None,
+            base_rtt_s: Some(base_rtt_s),
+            // The sender knows the route's BDP: start in congestion
+            // avoidance, not slow start, or the first RTT doubles past
+            // 2x BDP and overflows the queue the window was sized for.
+            init_ssthresh: Some(init_cwnd),
+        };
+        let sender = net.add_windowed(flow);
+        let done = net.run_while_incomplete(cfg.segment_s);
+        let stats = net.windowed_stats(sender);
+        outcome.transmissions += stats.transmissions;
+        outcome.retransmissions += stats.retransmissions;
+        outcome.dropped += stats.dropped;
+        outcome.ecn_marked += stats.ecn_marked;
+        if done {
+            outcome.duration_s =
+                Some(elapsed_s + stats.completion_s.expect("completed transfer has a time"));
+            return outcome;
+        }
+        // Segment over: in-flight packets die with the old route.
+        outcome.boundary_loss += stats
+            .transmissions
+            .saturating_sub(stats.arrivals + stats.dropped);
+        remaining -= stats.delivered;
+        elapsed_s += cfg.segment_s;
+        carried_cwnd = Some(stats.final_cwnd);
+        prev_route = Some(path.nodes);
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +542,125 @@ mod tests {
         assert!(!tight.prefetches_feasible(&links));
         let relaxed = ReplicationPlan::build(iv, sizes, 1, 5.0);
         assert!(relaxed.prefetches_feasible(&links));
+    }
+
+    /// A small config that keeps packet counts tractable in tests.
+    fn mig_cfg() -> MigrationNetConfig {
+        MigrationNetConfig {
+            isl_rate_bps: 1e9,
+            ..MigrationNetConfig::default()
+        }
+    }
+
+    #[test]
+    fn migrating_to_the_same_server_is_free() {
+        let s = service();
+        let out = migrate_via_packets(&s, SatId(5), SatId(5), 0.0, 1e6, &mig_cfg());
+        assert_eq!(out.duration_s, Some(0.0));
+        assert_eq!(out.transmissions, 0);
+        assert_eq!(out.packets, 0);
+    }
+
+    #[test]
+    fn uncontended_migration_lands_between_the_analytic_bounds() {
+        let s = service();
+        // 10 MB of session state over an idle route: the measured time
+        // must be at least the packetized (pipelined) bound and, with a
+        // window sized to the path BDP, close to it — certainly no worse
+        // than the message-level store-and-forward bound.
+        let out = migrate_via_packets(&s, SatId(0), SatId(3), 0.0, 10e6, &mig_cfg());
+        let t = out.duration_s.expect("uncontended transfer completes");
+        assert!(out.hops >= 1);
+        assert!(
+            out.analytic_packet_s <= out.analytic_message_s + 1e-12,
+            "packetized bound must not exceed the message bound"
+        );
+        assert!(
+            t >= out.analytic_packet_s - 1e-9,
+            "measured {t} below the analytic floor {}",
+            out.analytic_packet_s
+        );
+        assert!(
+            t <= out.analytic_packet_s * 1.15 + 1e-6,
+            "uncontended measured {t} should track the packetized bound {}",
+            out.analytic_packet_s
+        );
+        assert_eq!(out.retransmissions, 0);
+        assert_eq!(out.dropped, 0);
+    }
+
+    #[test]
+    fn cross_traffic_slows_migration_monotonically() {
+        let s = service();
+        let run = |load: f64| {
+            let cfg = MigrationNetConfig {
+                cross_load_frac: load,
+                ..mig_cfg()
+            };
+            migrate_via_packets(&s, SatId(0), SatId(3), 0.0, 10e6, &cfg)
+                .duration_s
+                .expect("transfer completes")
+        };
+        let idle = run(0.0);
+        let busy = run(0.85);
+        assert!(
+            busy > idle,
+            "cross-traffic must slow the transfer: {busy} vs {idle}"
+        );
+    }
+
+    #[test]
+    fn contended_migration_sees_congestion_signals() {
+        let s = service();
+        let cfg = MigrationNetConfig {
+            cross_load_frac: 0.9,
+            ..mig_cfg()
+        };
+        let out = migrate_via_packets(&s, SatId(0), SatId(3), 0.0, 20e6, &cfg);
+        assert!(out.duration_s.is_some());
+        assert!(
+            out.ecn_marked > 0 || out.dropped > 0,
+            "a 90%-loaded route must produce marks or drops: {out:?}"
+        );
+    }
+
+    #[test]
+    fn migration_outcomes_are_deterministic() {
+        let s = service();
+        let cfg = MigrationNetConfig {
+            cross_load_frac: 0.6,
+            ..mig_cfg()
+        };
+        let a = migrate_via_packets(&s, SatId(0), SatId(7), 120.0, 5e6, &cfg);
+        let b = migrate_via_packets(&s, SatId(0), SatId(7), 120.0, 5e6, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slow_transfers_span_segments_and_survive_route_refreshes() {
+        let s = service();
+        // Starve the transfer so it cannot finish inside one segment:
+        // heavy cross-traffic, short segments, a bigger payload.
+        let cfg = MigrationNetConfig {
+            isl_rate_bps: 50e6,
+            cross_load_frac: 0.9,
+            segment_s: 2.0,
+            max_segments: 400,
+            packet_bits: 48_000.0,
+            ..MigrationNetConfig::default()
+        };
+        let out = migrate_via_packets(&s, SatId(0), SatId(3), 0.0, 20e6, &cfg);
+        assert!(
+            out.segments > 1,
+            "expected a multi-segment transfer, got {out:?}"
+        );
+        if let Some(t) = out.duration_s {
+            assert!(
+                t > cfg.segment_s,
+                "duration {t} vs segment {}",
+                cfg.segment_s
+            );
+        }
     }
 
     #[test]

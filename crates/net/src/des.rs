@@ -146,7 +146,11 @@ impl DesNetwork {
     /// `start_s`, returning its id.
     ///
     /// # Panics
-    /// Panics on an empty route, non-positive size, or unknown link.
+    /// Panics on an empty route, a non-positive or non-finite size, a
+    /// non-finite start time, or an unknown link. A NaN start would
+    /// silently corrupt the event heap's order and an infinite size
+    /// would record `inf` completion times, so both are rejected here
+    /// with the offending value in the message.
     pub fn schedule_transfer(
         &mut self,
         route: Vec<LinkId>,
@@ -154,7 +158,14 @@ impl DesNetwork {
         start_s: f64,
     ) -> TransferId {
         assert!(!route.is_empty(), "empty route");
-        assert!(size_bits > 0.0, "empty transfer");
+        assert!(
+            size_bits.is_finite() && size_bits > 0.0,
+            "transfer size must be positive and finite, got {size_bits}"
+        );
+        assert!(
+            start_s.is_finite(),
+            "transfer start time must be finite, got {start_s}"
+        );
         assert!(
             route.iter().all(|l| l.0 < self.links.len()),
             "route references unknown link"
@@ -342,6 +353,24 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_links_are_rejected() {
         Link::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer start time must be finite")]
+    fn nan_start_transfers_are_rejected() {
+        // A NaN start previously slipped through and corrupted the
+        // deterministic tie-break order of the event heap.
+        let mut net = DesNetwork::new();
+        let l = net.add_link(Link::new(1e9, 0.0));
+        net.schedule_transfer(vec![l], 1e6, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer size must be positive and finite")]
+    fn infinite_size_transfers_are_rejected() {
+        let mut net = DesNetwork::new();
+        let l = net.add_link(Link::new(1e9, 0.0));
+        net.schedule_transfer(vec![l], f64::INFINITY, 0.0);
     }
 
     proptest! {

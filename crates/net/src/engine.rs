@@ -1108,7 +1108,13 @@ impl RoutingEngine {
             arena.labels[s.0 as usize] = arena.labels[s.0 as usize].min(s.0);
             arena.heap.push(Reverse(heap_key(0.0, s.0)));
         }
-        self.search_heap_argmin(weights, links, &mut store, &mut arena.heap, &mut arena.labels);
+        self.search_heap_argmin(
+            weights,
+            links,
+            &mut store,
+            &mut arena.heap,
+            &mut arena.labels,
+        );
         winners.clear();
         winners.extend((0..links.num_grounds()).map(|g| {
             let node = self.ground_node(g) as usize;
@@ -1142,7 +1148,11 @@ impl RoutingEngine {
             }
             tally.pops += 1;
             let label = labels[u as usize];
-            let mut relax = |v: u32, nd: f64, store: &mut S, heap: &mut BinaryHeap<Reverse<u128>>, tally: &mut SearchTally| {
+            let mut relax = |v: u32,
+                             nd: f64,
+                             store: &mut S,
+                             heap: &mut BinaryHeap<Reverse<u128>>,
+                             tally: &mut SearchTally| {
                 let dv = store.dist_of(v);
                 if nd < dv {
                     store.set(v, nd);
@@ -1688,7 +1698,10 @@ mod tests {
         let grounds = [endpoint(0, 0.0, 0.0), endpoint(1, 47.38, 8.54)];
         let links = engine.attach_scan(&c, &snap, &grounds);
         let mut arena = DijkstraArena::new();
-        let sources: Vec<SatId> = (0..engine.num_sats() as u32).step_by(7).map(SatId).collect();
+        let sources: Vec<SatId> = (0..engine.num_sats() as u32)
+            .step_by(7)
+            .map(SatId)
+            .collect();
         let (mut delays, mut winners) = (Vec::new(), Vec::new());
         engine.multi_source_ground_frontier_into(
             &weights,
@@ -1710,7 +1723,11 @@ mod tests {
                     &mut arena,
                 );
                 let d = single[g];
-                if d.is_finite() && best.map_or(true, |(bd, bi)| d < bd || (d == bd && s.0 < bi)) {
+                let better = match best {
+                    None => true,
+                    Some((bd, bi)) => d < bd || (d == bd && s.0 < bi),
+                };
+                if d.is_finite() && better {
                     best = Some((d, s.0));
                 }
             }

@@ -327,8 +327,7 @@ pub fn settle_visible_lists(
                 }
                 tally.pairs_exact += 1;
                 let range = ge.distance_m(pos);
-                if range <= sh.max_range_m
-                    && look::is_visible_spherical(ge, pos, sh.min_elevation)
+                if range <= sh.max_range_m && look::is_visible_spherical(ge, pos, sh.min_elevation)
                 {
                     if let Some(p) = plan {
                         if p.access_link_masked(ge, pos) {
@@ -381,8 +380,7 @@ fn challenge(
                 }
                 tally.pairs_exact += 1;
                 let range = ge.distance_m(pos);
-                if range <= sh.max_range_m
-                    && look::is_visible_spherical(ge, pos, sh.min_elevation)
+                if range <= sh.max_range_m && look::is_visible_spherical(ge, pos, sh.min_elevation)
                 {
                     if let Some(p) = plan {
                         if p.access_link_masked(ge, pos) {
@@ -463,7 +461,7 @@ trait PlanExt {
 
 impl PlanExt for Option<&FaultPlan> {
     fn is_some_and_dead(&self, id: SatId) -> bool {
-        self.map_or(false, |p| p.sat_dead(id))
+        self.is_some_and(|p| p.sat_dead(id))
     }
 }
 

@@ -267,7 +267,8 @@ impl VisibilityIndex {
                 ShellWindow {
                     max_range_m: sh.max_range_m,
                     min_elevation: sh.min_elevation,
-                    entries: &sh.entries[sh.band_offsets[lo] as usize..sh.band_offsets[hi + 1] as usize],
+                    entries: &sh.entries
+                        [sh.band_offsets[lo] as usize..sh.band_offsets[hi + 1] as usize],
                 }
             })
             .collect()

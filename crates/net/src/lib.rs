@@ -30,6 +30,11 @@
 //!   `leo-apps`.
 //! * [`packet`] — packet-level simulation (FIFO queues, drop-tail,
 //!   competing flows) for the §3.3 downlink-contention footnote.
+//! * [`congestion`] — the closed-loop counterpart: window-based senders
+//!   (AIMD / DCTCP) with pacing, retransmission on drop-tail loss, and
+//!   ECN-style marking at a configurable queue threshold, sharing queues
+//!   with open-loop CBR cross-traffic. Used by `leo-core` to time state
+//!   migration over contended ISLs.
 //! * [`handover`] — single-ground-station pass prediction and hand-over
 //!   schedules for the plain network service (§2).
 //! * [`weather`] — rain-fade link budgets and availability (§6's
@@ -42,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod congestion;
 pub mod des;
 pub mod engine;
 pub mod fault;

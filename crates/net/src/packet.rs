@@ -40,9 +40,17 @@ impl PacketLink {
     /// Creates a link.
     ///
     /// # Panics
-    /// Panics on non-positive rate or negative delay.
+    /// Panics on a non-positive or non-finite rate, or a negative or
+    /// non-finite delay.
     pub fn new(rate_bps: f64, prop_delay_s: f64, queue_packets: usize) -> Self {
-        assert!(rate_bps > 0.0 && prop_delay_s >= 0.0);
+        assert!(
+            rate_bps.is_finite() && rate_bps > 0.0,
+            "link rate must be positive and finite, got {rate_bps}"
+        );
+        assert!(
+            prop_delay_s.is_finite() && prop_delay_s >= 0.0,
+            "propagation delay must be non-negative and finite, got {prop_delay_s}"
+        );
         PacketLink {
             rate_bps,
             prop_delay_s,
@@ -68,7 +76,18 @@ pub struct Flow {
 
 impl Flow {
     /// Offered rate of the flow, bits per second.
+    ///
+    /// # Panics
+    /// Panics on a non-positive or non-finite `interval_s` (a hand-built
+    /// flow that [`PacketNetwork::add_flow`] would reject anyway), so a
+    /// zero interval surfaces here instead of silently yielding `inf`
+    /// or `NaN`.
     pub fn offered_bps(&self) -> f64 {
+        assert!(
+            self.interval_s.is_finite() && self.interval_s > 0.0,
+            "offered rate needs a positive finite packet interval, got {}",
+            self.interval_s
+        );
         self.packet_bits / self.interval_s
     }
 }
@@ -85,11 +104,18 @@ pub struct FlowStats {
 }
 
 impl FlowStats {
-    /// Fraction of emitted packets delivered.
+    /// Fraction of emitted packets delivered end-to-end.
+    ///
+    /// Defined over *emitted* packets only once [`PacketNetwork::run`]
+    /// has completed: the denominator is `delivered + dropped`, which
+    /// equals the emission count exactly when the event loop has
+    /// drained (mid-flight packets are in neither bucket). A flow that
+    /// emitted no packets lost none of them, so the zero-packet ratio
+    /// is defined as `1.0` (vacuous delivery), not `0.0`.
     pub fn delivery_ratio(&self) -> f64 {
         let total = self.delivered + self.dropped;
         if total == 0 {
-            0.0
+            1.0
         } else {
             self.delivered as f64 / total as f64
         }
@@ -120,6 +146,22 @@ enum EventKind {
     TxDone { link: usize },
 }
 
+impl EventKind {
+    /// Processing rank at equal timestamps: a link that finishes
+    /// serializing at instant `t` frees its server *before* a packet
+    /// arriving at `t` is judged against the queue. Without this rank,
+    /// pre-emitted `Enqueue` events carry lower insertion `seq` and pop
+    /// first, so a coincident arrival sees the link as still busy and is
+    /// queued — or dropped on a full queue — at the exact instant the
+    /// server became free.
+    fn rank(&self) -> u8 {
+        match self {
+            EventKind::TxDone { .. } => 0,
+            EventKind::Enqueue { .. } => 1,
+        }
+    }
+}
+
 #[derive(Debug, PartialEq)]
 struct Event {
     time_s: f64,
@@ -135,8 +177,11 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, o: &Self) -> Ordering {
+        // Min-heap by time; same-instant `TxDone` before `Enqueue`;
+        // FIFO insertion-order tie-break within a kind.
         o.time_s
             .total_cmp(&self.time_s)
+            .then_with(|| o.kind.rank().cmp(&self.kind.rank()))
             .then_with(|| o.seq.cmp(&self.seq))
     }
 }
@@ -163,11 +208,32 @@ impl PacketNetwork {
     /// Adds a flow.
     ///
     /// # Panics
-    /// Panics on an empty route, unknown links, or non-positive timing.
+    /// Panics on an empty route, unknown links, or non-positive or
+    /// non-finite timing/size fields. Infinite or NaN values would
+    /// silently corrupt the event heap's order (every `total_cmp`
+    /// against NaN is consistent but meaningless), so they are rejected
+    /// here with the offending value in the message.
     pub fn add_flow(&mut self, flow: Flow) -> FlowId {
         assert!(!flow.route.is_empty(), "empty route");
-        assert!(flow.route.iter().all(|l| l.0 < self.links.len()));
-        assert!(flow.packet_bits > 0.0 && flow.interval_s > 0.0);
+        assert!(
+            flow.route.iter().all(|l| l.0 < self.links.len()),
+            "route references unknown link"
+        );
+        assert!(
+            flow.packet_bits.is_finite() && flow.packet_bits > 0.0,
+            "packet size must be positive and finite, got {}",
+            flow.packet_bits
+        );
+        assert!(
+            flow.interval_s.is_finite() && flow.interval_s > 0.0,
+            "packet interval must be positive and finite, got {}",
+            flow.interval_s
+        );
+        assert!(
+            flow.start_s.is_finite(),
+            "flow start time must be finite, got {}",
+            flow.start_s
+        );
         self.flows.push(flow);
         FlowId(self.flows.len() - 1)
     }
@@ -393,6 +459,124 @@ mod tests {
         });
     }
 
+    /// Regression: an `Enqueue` landing at the exact instant of a
+    /// `TxDone` must see the freed link. Pre-fix, the pre-emitted
+    /// `Enqueue` (lower `seq`) popped first, so a back-to-back CBR flow
+    /// whose interval exactly equals the serialization time dropped
+    /// every packet after the first on a zero-queue link.
+    #[test]
+    fn coincident_txdone_and_enqueue_frees_the_link_first() {
+        // tx time = 1e6 bits / 1e6 bps = 1 s = interval: every arrival
+        // coincides exactly with the previous packet's TxDone.
+        let mut net = PacketNetwork::new();
+        let l = net.add_link(PacketLink::new(1e6, 0.0, 0));
+        let f = net.add_flow(Flow {
+            route: vec![l],
+            packet_bits: 1e6,
+            interval_s: 1.0,
+            start_s: 0.0,
+            packets: 4,
+        });
+        let stats = &net.run()[f.0];
+        assert_eq!(stats.delivered, 4, "coincident arrivals must be served");
+        assert_eq!(stats.dropped, 0);
+        // And with a queue, the coincident arrival starts service
+        // immediately instead of sitting one full serialization behind.
+        let mut net = PacketNetwork::new();
+        let l = net.add_link(PacketLink::new(1e6, 0.0, 8));
+        let f = net.add_flow(Flow {
+            route: vec![l],
+            packet_bits: 1e6,
+            interval_s: 1.0,
+            start_s: 0.0,
+            packets: 4,
+        });
+        let stats = &net.run()[f.0];
+        for &lat in &stats.latencies_s {
+            assert!((lat - 1.0).abs() < 1e-12, "queueing crept in: {lat}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "packet interval must be positive and finite")]
+    fn nan_interval_flows_are_rejected() {
+        let mut net = PacketNetwork::new();
+        let l = net.add_link(PacketLink::new(1e6, 0.0, 4));
+        net.add_flow(Flow {
+            route: vec![l],
+            packet_bits: 1e4,
+            interval_s: f64::NAN,
+            start_s: 0.0,
+            packets: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "flow start time must be finite")]
+    fn non_finite_start_flows_are_rejected() {
+        let mut net = PacketNetwork::new();
+        let l = net.add_link(PacketLink::new(1e6, 0.0, 4));
+        net.add_flow(Flow {
+            route: vec![l],
+            packet_bits: 1e4,
+            interval_s: 1.0,
+            start_s: f64::INFINITY,
+            packets: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "packet size must be positive and finite")]
+    fn infinite_packet_size_flows_are_rejected() {
+        let mut net = PacketNetwork::new();
+        let l = net.add_link(PacketLink::new(1e6, 0.0, 4));
+        net.add_flow(Flow {
+            route: vec![l],
+            packet_bits: f64::INFINITY,
+            interval_s: 1.0,
+            start_s: 0.0,
+            packets: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "offered rate needs a positive finite packet interval")]
+    fn offered_bps_rejects_a_zero_interval() {
+        // A hand-built flow that never went through add_flow must not
+        // silently report an infinite offered rate.
+        let f = Flow {
+            route: vec![PLinkId(0)],
+            packet_bits: 1e4,
+            interval_s: 0.0,
+            start_s: 0.0,
+            packets: 1,
+        };
+        let _ = f.offered_bps();
+    }
+
+    #[test]
+    #[should_panic(expected = "link rate must be positive and finite")]
+    fn non_finite_link_rates_are_rejected() {
+        PacketLink::new(f64::NAN, 0.0, 4);
+    }
+
+    #[test]
+    fn zero_packet_delivery_ratio_is_vacuously_one() {
+        // Documented zero-packet semantics: nothing emitted, nothing
+        // lost — the ratio is 1.0, not a silent 0.0.
+        assert_eq!(FlowStats::default().delivery_ratio(), 1.0);
+        let mut net = PacketNetwork::new();
+        let l = net.add_link(PacketLink::new(1e6, 0.0, 4));
+        let f = net.add_flow(Flow {
+            route: vec![l],
+            packet_bits: 1e4,
+            interval_s: 1.0,
+            start_s: 0.0,
+            packets: 0,
+        });
+        assert_eq!(net.run()[f.0].delivery_ratio(), 1.0);
+    }
+
     proptest! {
         /// Conservation: every emitted packet is either delivered or
         /// dropped, never both, never lost.
@@ -411,6 +595,41 @@ mod tests {
             prop_assert_eq!(stats[a.0].delivered + stats[a.0].dropped, n1);
             prop_assert_eq!(stats[b.0].delivered + stats[b.0].dropped, n2);
             prop_assert_eq!(stats[a.0].latencies_s.len(), stats[a.0].delivered);
+        }
+
+        /// Conservation over multi-hop routes with unequal per-link
+        /// queues and a guaranteed interior bottleneck: the entry link
+        /// is generously buffered and under-subscribed, so every drop
+        /// happens at an interior hop — and each emitted packet is still
+        /// delivered or dropped exactly once.
+        #[test]
+        fn prop_packet_conservation_multi_hop(
+            n1 in 1usize..200,
+            n2 in 1usize..200,
+            rate in 1e6..1e9f64,
+            q_mid in 0usize..8,
+            q_out in 0usize..64,
+            delay in 0.0..0.01f64,
+        ) {
+            let mut net = PacketNetwork::new();
+            // Entry: ample queue, jointly under-subscribed (0.8 load).
+            let entry = net.add_link(PacketLink::new(rate, delay, 1024));
+            // Interior: 4x over-subscribed with a small unequal queue.
+            let mid = net.add_link(PacketLink::new(rate * 0.2, 0.002, q_mid));
+            let exit = net.add_link(PacketLink::new(rate, 0.001, q_out));
+            let a = net.add_flow(cbr(vec![entry, mid, exit], rate * 0.4, 1e4, n1));
+            let b = net.add_flow(cbr(vec![entry, mid], rate * 0.4, 1e4, n2));
+            let stats = net.run();
+            prop_assert_eq!(stats[a.0].delivered + stats[a.0].dropped, n1);
+            prop_assert_eq!(stats[b.0].delivered + stats[b.0].dropped, n2);
+            prop_assert_eq!(stats[a.0].latencies_s.len(), stats[a.0].delivered);
+            prop_assert_eq!(stats[b.0].latencies_s.len(), stats[b.0].delivered);
+            // The interior bottleneck must actually bite once the
+            // emission run is longer than everything its queue can hide.
+            if n1 + n2 > 60 {
+                let dropped = stats[a.0].dropped + stats[b.0].dropped;
+                prop_assert!(dropped > 0, "no interior drops at {} packets", n1 + n2);
+            }
         }
 
         /// Latency is bounded below by serialization + propagation and

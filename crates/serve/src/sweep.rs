@@ -471,13 +471,16 @@ fn settle_mode(prev: Option<&SnapshotView>, view: &SnapshotView) -> SettleMode {
     }
     let mut moved = vec![false; b.len()];
     let mut count = 0usize;
-    for i in 0..b.len() {
-        let (p, q) = (a.positions[i].0, b.positions[i].0);
+    for (m, (pe, qe)) in moved
+        .iter_mut()
+        .zip(a.positions.iter().zip(b.positions.iter()))
+    {
+        let (p, q) = (pe.0, qe.0);
         if p.x.to_bits() != q.x.to_bits()
             || p.y.to_bits() != q.y.to_bits()
             || p.z.to_bits() != q.z.to_bits()
         {
-            moved[i] = true;
+            *m = true;
             count += 1;
         }
     }
